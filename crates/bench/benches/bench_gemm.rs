@@ -1,0 +1,41 @@
+//! Criterion bench: GEMM kernels at the pipeline's (small) matrix sizes
+//! vs VGG-scale sizes — the §VII-B / §VIII observation that libraries are
+//! tuned for the latter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn::gemm::{matmul, matmul_naive, matmul_parallel};
+use nn::Tensor2;
+use par::ParConfig;
+use std::hint::black_box;
+
+fn bench_pipeline_sized(c: &mut Criterion) {
+    // Link prediction training GEMM: batch 64 × (2d = 16) × hidden 64.
+    let a = Tensor2::xavier(64, 16, 1);
+    let b = Tensor2::xavier(16, 64, 2);
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("gemm/pipeline_64x16x64");
+    group.bench_function("naive", |bch| bch.iter(|| black_box(matmul_naive(&a, &b))));
+    group.bench_function("packed", |bch| bch.iter(|| black_box(matmul(&a, &b))));
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| black_box(matmul_parallel(&a, &b, &par)))
+    });
+    group.finish();
+}
+
+fn bench_vgg_sized(c: &mut Criterion) {
+    // One shrunken VGG conv layer: 784 × 288 × 128.
+    let a = Tensor2::xavier(784, 288, 3);
+    let b = Tensor2::xavier(288, 128, 4);
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("gemm/vgg_784x288x128");
+    group.sample_size(10);
+    group.bench_function("naive", |bch| bch.iter(|| black_box(matmul_naive(&a, &b))));
+    group.bench_function("packed", |bch| bch.iter(|| black_box(matmul(&a, &b))));
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| black_box(matmul_parallel(&a, &b, &par)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_sized, bench_vgg_sized);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: end-to-end pipeline phases on a small stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwalk_core::{Hyperparams, Pipeline};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let d = datasets::ia_email(0.15);
+    let mut group = c.benchmark_group("pipeline/link_prediction");
+    group.sample_size(10);
+    group.bench_function("ia-email-0.15", |b| {
+        let hp = Hyperparams::paper_optimal().quick_test();
+        b.iter(|| black_box(Pipeline::new(hp.clone()).run_link_prediction(&d.graph).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_embedding_phases(c: &mut Criterion) {
+    let d = datasets::ia_email(0.25);
+    let mut group = c.benchmark_group("pipeline/phases");
+    group.sample_size(10);
+    let hp = Hyperparams::paper_optimal().quick_test();
+    group.bench_function("walks", |b| {
+        let p = Pipeline::new(hp.clone());
+        b.iter(|| black_box(p.walks(&d.graph)));
+    });
+    group.bench_function("walks+word2vec", |b| {
+        let p = Pipeline::new(hp.clone());
+        b.iter(|| black_box(p.embeddings(&d.graph)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_embedding_phases);
+criterion_main!(benches);

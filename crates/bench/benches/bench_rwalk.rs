@@ -1,0 +1,101 @@
+//! Criterion bench: the temporal random walk kernel (RW-P1).
+//!
+//! Covers the Fig. 8a complexity axis (walks per node), the sampler
+//! ablation (uniform vs Eq. 1 softmax — the compute-heavy part the paper
+//! highlights), and graph-size growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par::ParConfig;
+use std::hint::black_box;
+use twalk::{generate_walks, TransitionSampler, WalkConfig};
+
+fn bench_walks_per_node(c: &mut Criterion) {
+    let g = tgraph::gen::preferential_attachment(10_000, 3, 1)
+        .undirected(true)
+        .build();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("rwalk/walks_per_node");
+    group.sample_size(10);
+    for k in [1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = WalkConfig::new(k, 6).seed(1);
+            b.iter(|| black_box(generate_walks(&g, &cfg, &par)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let g = tgraph::gen::preferential_attachment(10_000, 3, 2)
+        .undirected(true)
+        .build();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("rwalk/sampler");
+    group.sample_size(10);
+    for (name, sampler) in [
+        ("uniform", TransitionSampler::Uniform),
+        ("softmax", TransitionSampler::Softmax),
+        ("softmax_recency", TransitionSampler::SoftmaxRecency),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = WalkConfig::new(10, 6).sampler(sampler).seed(2);
+            b.iter(|| black_box(generate_walks(&g, &cfg, &par)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("rwalk/graph_size");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000, 32_000] {
+        let g = tgraph::gen::erdos_renyi(n, n * 10, 3).build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let cfg = WalkConfig::new(10, 6).seed(3);
+            b.iter(|| black_box(generate_walks(g, &cfg, &par)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_lookup(c: &mut Criterion) {
+    // Ablation: binary search vs the paper Algorithm 1's O(M) linear scan
+    // in `sampleLatest` — the reason the implementation keeps adjacency
+    // timestamp-sorted.
+    let g = tgraph::gen::preferential_attachment(20_000, 4, 4)
+        .undirected(true)
+        .build();
+    let queries: Vec<(u32, f64)> = (0..4_096u32)
+        .map(|i| ((i * 37) % g.num_nodes() as u32, (i as f64 * 0.13) % 1.0))
+        .collect();
+    let mut group = c.benchmark_group("rwalk/neighbor_lookup");
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(v, t) in &queries {
+                total += black_box(g.neighbors_after(v, t)).0.len();
+            }
+            total
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(v, t) in &queries {
+                total += black_box(g.neighbors_after_linear(v, t)).0.len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walks_per_node,
+    bench_sampler,
+    bench_graph_size,
+    bench_neighbor_lookup
+);
+criterion_main!(benches);

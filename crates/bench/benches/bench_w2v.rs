@@ -1,0 +1,92 @@
+//! Criterion bench: word2vec (RW-P2) — batch-size, layout, and reduction
+//! ablations (Figs. 5–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embed::{train_batched, Layout, Reduction, Word2VecConfig};
+use par::ParConfig;
+use std::hint::black_box;
+use twalk::{generate_walks, WalkConfig};
+
+fn corpus() -> (twalk::WalkSet, usize) {
+    let g = tgraph::gen::preferential_attachment(5_000, 3, 5)
+        .undirected(true)
+        .build();
+    let walks = generate_walks(&g, &WalkConfig::new(5, 6).seed(1), &ParConfig::default());
+    (walks, g.num_nodes())
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let (walks, n) = corpus();
+    let par = ParConfig::default();
+    let cfg = Word2VecConfig::default().epochs(1).seed(2);
+    let mut group = c.benchmark_group("w2v/batch_size");
+    group.sample_size(10);
+    for bs in [1usize, 256, 4_096, 16_384] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, bs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_reduction(c: &mut Criterion) {
+    let (walks, n) = corpus();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("w2v/layout_reduction");
+    group.sample_size(10);
+    for (name, layout, reduction) in [
+        ("padded_scalar", Layout::Padded, Reduction::Scalar),
+        ("packed_scalar", Layout::Packed, Reduction::Scalar),
+        ("packed_chunked", Layout::Packed, Reduction::Chunked),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = Word2VecConfig::default()
+                .epochs(1)
+                .seed(3)
+                .layout(layout)
+                .reduction(reduction);
+            b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, usize::MAX)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dim(c: &mut Criterion) {
+    let (walks, n) = corpus();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("w2v/dim");
+    group.sample_size(10);
+    for dim in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let cfg = Word2VecConfig::default().dim(dim).epochs(1).seed(4);
+            b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, usize::MAX)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_locking(c: &mut Criterion) {
+    // Ablation: hogwild (lock-free, stale-tolerant) vs a global lock —
+    // the design choice enabling the paper's batched-GPU parallelism.
+    let (walks, n) = corpus();
+    let par = ParConfig::default();
+    let cfg = Word2VecConfig::default().epochs(1).seed(5);
+    let mut group = c.benchmark_group("w2v/locking");
+    group.sample_size(10);
+    group.bench_function("hogwild", |b| {
+        b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, usize::MAX)))
+    });
+    group.bench_function("global_lock", |b| {
+        b.iter(|| black_box(embed::train_locked(&walks, n, &cfg, &par)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_size,
+    bench_layout_reduction,
+    bench_dim,
+    bench_locking
+);
+criterion_main!(benches);

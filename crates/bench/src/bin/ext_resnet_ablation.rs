@@ -1,0 +1,67 @@
+//! Paper §VIII-A extension study: replacing the plain FNN classifier with
+//! a ResNet-style (skip-connection) classifier. The paper reports "at
+//! least ~2% accuracy improvement for link prediction using ResNet" and
+//! leaves the detailed investigation to future work — this binary is that
+//! investigation at reproduction scale.
+
+use rwalk_core::{Hyperparams, Pipeline};
+
+fn main() {
+    let scale = rwalk_bench::arg_scale();
+    rwalk_bench::banner(
+        "ext_resnet",
+        "§VIII-A",
+        "Plain 2-layer FNN vs residual (skip-connection) classifier on link prediction.",
+    );
+
+    let datasets = [datasets::ia_email(scale), datasets::wiki_talk(0.5 * scale)];
+    // Three classifiers: the paper's shallow FNN, a deeper plain FNN of
+    // equal-width hidden layers (where vanishing signal hurts), and the
+    // same depth with residual connections (the §VIII-A suggestion).
+    let variants: [(&str, bool, bool); 3] = [
+        ("2-layer FNN (paper)", false, false),
+        ("deep plain FNN", true, false),
+        ("deep residual FNN", true, true),
+    ];
+    println!("| dataset | classifier | accuracy | AUC |");
+    println!("|---|---|---|---|");
+    for d in &datasets {
+        let mut plain_deep = 0.0f64;
+        let mut res_deep = 0.0f64;
+        for (name, deep, residual) in variants {
+            let mut hp = Hyperparams::paper_optimal().with_seed(31);
+            hp.residual = residual;
+            if deep {
+                // Four equal-width hidden layers: deep enough that plain
+                // training degrades and skip connections matter.
+                hp.hidden = 2 * hp.dim;
+                hp.extra_hidden_layers = 3;
+                hp.train_epochs = 40;
+            }
+            let report = Pipeline::new(hp)
+                .run_link_prediction(&d.graph)
+                .expect("dataset is valid");
+            if deep && residual {
+                res_deep = report.metrics.accuracy;
+            } else if deep {
+                plain_deep = report.metrics.accuracy;
+            }
+            println!(
+                "| {} | {name} | {:.3} | {:.3} |",
+                d.name,
+                report.metrics.accuracy,
+                report.metrics.auc.unwrap_or(f64::NAN)
+            );
+        }
+        println!(
+            "| {} | residual vs plain (deep) | {:+.1}% | |",
+            d.name,
+            (res_deep - plain_deep) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "Paper: a ResNet-style classifier gains ~2% link prediction accuracy (§VIII-A). The \
+         comparison to watch is deep-residual vs deep-plain at equal capacity."
+    );
+}

@@ -1,0 +1,55 @@
+//! Runs every figure/table regeneration binary in sequence.
+//!
+//! `cargo run --release -p rwalk-bench --bin run_all [-- --scale S]`
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table02_datasets",
+    "fig03_workload_contrast",
+    "fig04_walk_length_dist",
+    "fig05_w2v_batching",
+    "fig06_w2v_ablation",
+    "fig08_tradeoff",
+    "fig09_inst_mix",
+    "fig10_thread_scaling",
+    "fig11_gpu_stalls",
+    "table03_time_breakdown",
+    "ext_resnet_ablation",
+    "ext_baselines",
+    "ext_incremental",
+    "ext_gcn_comparison",
+];
+
+fn main() {
+    let scale: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&scale)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build all bins first: cargo build --release -p rwalk-bench --bins)");
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table II: dataset inventory (paper sizes vs stand-ins).
+
+fn main() {
+    let scale = rwalk_bench::arg_scale();
+    rwalk_bench::banner(
+        "table02",
+        "Table II",
+        "Real-world datasets used by the paper and the synthetic stand-ins generated here.",
+    );
+    let ds = datasets::all(scale);
+    print!("{}", datasets::table2(&ds));
+    println!();
+    for d in &ds {
+        let stats = tgraph::stats::degree_stats(&d.graph);
+        println!(
+            "{}: max degree {}, mean degree {:.2}, {} classes — {}",
+            d.name,
+            stats.max,
+            stats.mean,
+            d.num_classes(),
+            d.description
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! `rwalk` — command-line driver for the pipeline and its experiments.
+//!
+//! ```text
+//! rwalk datasets [--scale S]
+//! rwalk linkpred  [--dataset NAME | --wel FILE] [--scale S] [--walks K]
+//!                 [--len N] [--dim D] [--threads T] [--gpu] [--seed X]
+//! rwalk nodeclass [--dataset NAME] [--scale S] [--walks K] [--len N]
+//!                 [--dim D] [--threads T] [--gpu] [--seed X]
+//! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
+//! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
+//! ```
+
+use std::process::ExitCode;
+
+use rwalk_core::{Backend, Hyperparams, Pipeline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: rwalk <datasets|linkpred|nodeclass|sweep|profile> [options]");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "datasets" => cmd_datasets(&opts),
+        "linkpred" => cmd_linkpred(&opts),
+        "nodeclass" => cmd_nodeclass(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "profile" => cmd_profile(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    dataset: String,
+    wel: Option<String>,
+    scale: f64,
+    walks: usize,
+    len: usize,
+    dim: usize,
+    threads: usize,
+    seed: u64,
+    gpu: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            dataset: "ia-email".into(),
+            wel: None,
+            scale: 0.25,
+            walks: 10,
+            len: 6,
+            dim: 8,
+            threads: 0,
+            seed: 42,
+            gpu: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--dataset" => o.dataset = val("--dataset")?,
+                "--wel" => o.wel = Some(val("--wel")?),
+                "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                "--walks" => o.walks = val("--walks")?.parse().map_err(|e| format!("--walks: {e}"))?,
+                "--len" => o.len = val("--len")?.parse().map_err(|e| format!("--len: {e}"))?,
+                "--dim" => o.dim = val("--dim")?.parse().map_err(|e| format!("--dim: {e}"))?,
+                "--threads" => {
+                    o.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                }
+                "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--gpu" => o.gpu = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn hyperparams(&self) -> Hyperparams {
+        Hyperparams::paper_optimal()
+            .with_walks_per_node(self.walks)
+            .with_walk_length(self.len)
+            .with_dim(self.dim)
+            .with_threads(self.threads)
+            .with_seed(self.seed)
+    }
+
+    fn pipeline(&self) -> Pipeline {
+        let p = Pipeline::new(self.hyperparams());
+        if self.gpu {
+            p.with_backend(Backend::GpuModel(perfmodel::GpuModel::ampere()))
+        } else {
+            p
+        }
+    }
+
+    fn named_dataset(&self) -> Result<datasets::NamedDataset, String> {
+        if let Some(path) = &self.wel {
+            return datasets::load_wel(path, "custom").map_err(|e| e.to_string());
+        }
+        let d = match self.dataset.as_str() {
+            "ia-email" => datasets::ia_email(self.scale),
+            "wiki-talk" => datasets::wiki_talk(self.scale),
+            "stackoverflow" => datasets::stackoverflow(self.scale),
+            "dblp3" => datasets::dblp3(self.scale),
+            "dblp5" => datasets::dblp5(self.scale),
+            "brain" => datasets::brain(self.scale),
+            other => return Err(format!("unknown dataset {other:?}")),
+        };
+        Ok(d)
+    }
+}
+
+fn cmd_datasets(o: &Options) -> Result<(), String> {
+    let ds = datasets::all(o.scale);
+    println!("{}", datasets::table2(&ds));
+    Ok(())
+}
+
+fn cmd_linkpred(o: &Options) -> Result<(), String> {
+    let d = o.named_dataset()?;
+    println!(
+        "dataset {} ({} nodes, {} edges)",
+        d.name,
+        d.graph.num_nodes(),
+        d.graph.num_edges()
+    );
+    let report = o.pipeline().run_link_prediction(&d.graph).map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    Ok(())
+}
+
+fn cmd_nodeclass(o: &Options) -> Result<(), String> {
+    let d = o.named_dataset()?;
+    let labels = d
+        .labels
+        .as_ref()
+        .ok_or_else(|| format!("dataset {} has no labels; pick dblp3/dblp5/brain", d.name))?;
+    println!(
+        "dataset {} ({} nodes, {} edges, {} classes)",
+        d.name,
+        d.graph.num_nodes(),
+        d.graph.num_edges(),
+        d.num_classes()
+    );
+    let report = o
+        .pipeline()
+        .run_node_classification(&d.graph, labels)
+        .map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    Ok(())
+}
+
+fn cmd_sweep(o: &Options) -> Result<(), String> {
+    let d = o.named_dataset()?;
+    println!("Fig. 8 mini-sweep on {}:", d.name);
+    println!("| K | N | d | accuracy | AUC |");
+    println!("|---|---|---|---|---|");
+    for (k, n, dim) in [(1, 6, 8), (5, 6, 8), (10, 6, 8), (10, 2, 8), (10, 6, 2), (10, 6, 16)] {
+        let hp = o
+            .hyperparams()
+            .with_walks_per_node(k)
+            .with_walk_length(n)
+            .with_dim(dim)
+            .quick_test();
+        let report = Pipeline::new(hp)
+            .run_link_prediction(&d.graph)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "| {k} | {n} | {dim} | {:.3} | {:.3} |",
+            report.metrics.accuracy,
+            report.metrics.auc.unwrap_or(f64::NAN)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(o: &Options) -> Result<(), String> {
+    use perfmodel::profile::{
+        profile_testing, profile_training, profile_walk, profile_word2vec, ProfileOptions,
+    };
+    use perfmodel::stalls::stall_breakdown;
+    use perfmodel::{GpuModel, KernelClass};
+
+    let d = o.named_dataset()?;
+    let hp = o.hyperparams();
+    println!(
+        "profiling {} ({} nodes, {} edges)",
+        d.name,
+        d.graph.num_nodes(),
+        d.graph.num_edges()
+    );
+    let opts = ProfileOptions::default();
+    let walk_cfg = hp.walk_config();
+    let walks = twalk::generate_walks(&d.graph, &walk_cfg, &hp.par_config());
+    let gpu = GpuModel::ampere();
+
+    let profiles = [
+        (KernelClass::RandomWalk, profile_walk(&d.graph, &walk_cfg, &opts), d.graph.num_nodes() as f64),
+        (
+            KernelClass::Word2Vec,
+            profile_word2vec(&walks, hp.dim, hp.window, hp.negatives, d.graph.num_nodes(), &opts),
+            (16_384 * hp.dim) as f64,
+        ),
+        (
+            KernelClass::Training,
+            profile_training(&[2 * hp.dim, hp.hidden, 1], hp.batch_size, 128, &opts),
+            (hp.batch_size * hp.hidden) as f64,
+        ),
+        (
+            KernelClass::Testing,
+            profile_testing(&[2 * hp.dim, hp.hidden, 1], 4_096, 1, &opts),
+            (hp.hidden * hp.hidden) as f64,
+        ),
+    ];
+
+    println!("| kernel | memory % | branch % | compute % | other % | irregularity | dominant stall |");
+    println!("|---|---|---|---|---|---|---|");
+    for (class, p, parallelism) in &profiles {
+        let mix = p.ops.mix();
+        let occ = gpu
+            .estimate_profile(p, p.work_scale(), *parallelism, 1.0, 0.0)
+            .occupancy;
+        let stalls = stall_breakdown(*class, p, occ);
+        println!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:?} |",
+            p.name,
+            mix.memory * 100.0,
+            mix.branch * 100.0,
+            mix.compute * 100.0,
+            mix.other * 100.0,
+            p.irregularity,
+            stalls.dominant(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Pipeline`] runs.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The input graph is too small to split and train on.
+    GraphTooSmall {
+        /// Vertices present.
+        nodes: usize,
+        /// Edges present.
+        edges: usize,
+    },
+    /// Label vector length does not match the vertex count.
+    LabelMismatch {
+        /// Labels provided.
+        labels: usize,
+        /// Vertices in the graph.
+        nodes: usize,
+    },
+    /// A class has too few members to stratify into train/valid/test.
+    ClassTooSmall {
+        /// The offending class id.
+        class: u16,
+        /// Members found.
+        members: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::GraphTooSmall { nodes, edges } => {
+                write!(f, "graph too small to train on ({nodes} nodes, {edges} edges)")
+            }
+            PipelineError::LabelMismatch { labels, nodes } => {
+                write!(f, "{labels} labels provided for {nodes} vertices")
+            }
+            PipelineError::ClassTooSmall { class, members } => {
+                write!(f, "class {class} has only {members} members (need at least 3)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = PipelineError::GraphTooSmall { nodes: 2, edges: 1 };
+        assert!(e.to_string().contains("2 nodes"));
+        let e = PipelineError::ClassTooSmall { class: 4, members: 1 };
+        assert!(e.to_string().contains("class 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Pipeline run reports: per-phase timing and task metrics.
+
+use std::time::Duration;
+
+/// Which downstream task a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Edge existence prediction (binary).
+    LinkPrediction,
+    /// Multi-class vertex labeling.
+    NodeClassification,
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::LinkPrediction => write!(f, "link prediction"),
+            TaskKind::NodeClassification => write!(f, "node classification"),
+        }
+    }
+}
+
+/// Wall-clock time of each pipeline phase (the rows of Table III).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Temporal random walk (RW-P1).
+    pub rwalk: Duration,
+    /// word2vec embedding (RW-P2).
+    pub word2vec: Duration,
+    /// Data preparation (splits, negative sampling, features).
+    pub data_prep: Duration,
+    /// Total classifier training (RW-P3).
+    pub train_total: Duration,
+    /// Mean per-epoch training time (the quantity Table III reports).
+    pub train_per_epoch: Duration,
+    /// Classifier testing (RW-P4).
+    pub test: Duration,
+}
+
+impl PhaseTimes {
+    /// End-to-end time.
+    pub fn total(&self) -> Duration {
+        self.rwalk + self.word2vec + self.data_prep + self.train_total + self.test
+    }
+
+    /// Fraction of end-to-end time spent training — the paper's headline
+    /// time-breakdown finding is that this dominates.
+    pub fn training_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.train_total.as_secs_f64() / total
+        }
+    }
+}
+
+/// Quality metrics of the downstream task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskMetrics {
+    /// Test accuracy (the paper's reported metric).
+    pub accuracy: f64,
+    /// Test ROC-AUC (link prediction only).
+    pub auc: Option<f64>,
+    /// Macro-F1 (node classification only).
+    pub macro_f1: Option<f64>,
+    /// Final training loss.
+    pub final_train_loss: f64,
+}
+
+/// Everything a pipeline run produces besides the trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskReport {
+    /// Task identity.
+    pub task: TaskKind,
+    /// Quality metrics on the held-out test set.
+    pub metrics: TaskMetrics,
+    /// Per-phase wall-clock (or modeled-GPU) times.
+    pub phase_times: PhaseTimes,
+    /// Walk-length distribution of the generated corpus (Fig. 4 data).
+    pub walk_stats: twalk::stats::WalkLengthStats,
+    /// Classifier epochs actually run (early stop may cut them short).
+    pub epochs_run: usize,
+    /// `"cpu"` or `"gpu-model"`.
+    pub backend: &'static str,
+}
+
+impl TaskReport {
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let t = &self.phase_times;
+        let mut s = format!(
+            "{} [{}]: accuracy {:.3}",
+            self.task, self.backend, self.metrics.accuracy
+        );
+        if let Some(auc) = self.metrics.auc {
+            s.push_str(&format!(", AUC {auc:.3}"));
+        }
+        if let Some(f1) = self.metrics.macro_f1 {
+            s.push_str(&format!(", macro-F1 {f1:.3}"));
+        }
+        s.push_str(&format!(
+            " | rwalk {:.3}s, word2vec {:.3}s, prep {:.3}s, train {:.3}s ({} epochs, {:.4}s/epoch), test {:.3}s",
+            t.rwalk.as_secs_f64(),
+            t.word2vec.as_secs_f64(),
+            t.data_prep.as_secs_f64(),
+            t.train_total.as_secs_f64(),
+            self.epochs_run,
+            t.train_per_epoch.as_secs_f64(),
+            t.test.as_secs_f64(),
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_sums_components() {
+        let t = PhaseTimes {
+            rwalk: Duration::from_millis(10),
+            word2vec: Duration::from_millis(20),
+            data_prep: Duration::from_millis(5),
+            train_total: Duration::from_millis(100),
+            train_per_epoch: Duration::from_millis(10),
+            test: Duration::from_millis(15),
+        };
+        assert_eq!(t.total(), Duration::from_millis(150));
+        assert!((t.training_fraction() - 100.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_times_are_safe() {
+        let t = PhaseTimes::default();
+        assert_eq!(t.training_fraction(), 0.0);
+    }
+
+    #[test]
+    fn task_kind_displays() {
+        assert_eq!(TaskKind::LinkPrediction.to_string(), "link prediction");
+        assert_eq!(TaskKind::NodeClassification.to_string(), "node classification");
+    }
+}

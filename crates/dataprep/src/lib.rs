@@ -1,0 +1,384 @@
+//! Classifier data preparation (paper §V-C, Fig. 7).
+//!
+//! For **link prediction** the paper sorts edges by timestamp, reserves the
+//! most recent 20% as the test set (train on the past, predict the future),
+//! randomly samples 60% / 20% of the total for training / validation from
+//! the remainder, then pairs every positive edge with a *negative* edge —
+//! an endpoint-corrupted pair absent from the input graph. Edge features
+//! are the concatenation of the endpoint embeddings.
+//!
+//! For **node classification** the labeled vertex set is split 60/20/20
+//! (stratified by class, so every class appears in every split) and the
+//! features are the node embeddings themselves; no negative sampling is
+//! needed (§V-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use dataprep::{temporal_edge_split, SplitRatios};
+//!
+//! let g = tgraph::gen::erdos_renyi(100, 2_000, 1).build();
+//! let split = temporal_edge_split(&g, SplitRatios::default(), 7);
+//! assert_eq!(split.train_pos.len() + split.valid_pos.len() + split.test_pos.len(), 2_000);
+//! // Test edges come strictly after the temporal cut:
+//! let max_train = split.train_pos.iter().map(|e| e.time).fold(f64::MIN, f64::max);
+//! let min_test = split.test_pos.iter().map(|e| e.time).fold(f64::MAX, f64::min);
+//! assert!(max_train <= min_test);
+//! ```
+
+use std::collections::HashSet;
+
+use embed::EmbeddingMatrix;
+use nn::Tensor2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tgraph::{NodeId, TemporalEdge, TemporalGraph};
+
+/// Train/validation/test fractions (of the *total*), paper default
+/// 60/20/20.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub valid: f64,
+    /// Test fraction (taken from the temporal tail for link prediction).
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// Creates ratios, validating they are positive and sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ratio is non-positive or the sum differs from 1 by
+    /// more than 1e-6.
+    pub fn new(train: f64, valid: f64, test: f64) -> Self {
+        assert!(train > 0.0 && valid > 0.0 && test > 0.0, "ratios must be positive");
+        assert!(
+            ((train + valid + test) - 1.0).abs() < 1e-6,
+            "ratios must sum to 1"
+        );
+        Self { train, valid, test }
+    }
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        Self { train: 0.6, valid: 0.2, test: 0.2 }
+    }
+}
+
+/// Positive and negative edge sets for the three splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSplit {
+    /// Training positives (randomly drawn from the temporal head).
+    pub train_pos: Vec<TemporalEdge>,
+    /// Validation positives.
+    pub valid_pos: Vec<TemporalEdge>,
+    /// Test positives — the temporally latest edges.
+    pub test_pos: Vec<TemporalEdge>,
+    /// Training negatives (endpoint pairs absent from the graph).
+    pub train_neg: Vec<(NodeId, NodeId)>,
+    /// Validation negatives.
+    pub valid_neg: Vec<(NodeId, NodeId)>,
+    /// Test negatives.
+    pub test_neg: Vec<(NodeId, NodeId)>,
+}
+
+/// Splits a graph's edges per Fig. 7: timestamp sort, temporal-tail test
+/// set, random train/valid partition of the head, then negative sampling
+/// matching each positive set's size.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 5 edges, fewer than 3 vertices, or
+/// is too dense for negative sampling: the number of *distinct* endpoint
+/// pairs must leave at least as many absent pairs as positives, since
+/// every positive needs a unique graph-absent negative.
+pub fn temporal_edge_split(g: &TemporalGraph, ratios: SplitRatios, seed: u64) -> EdgeSplit {
+    let mut edges: Vec<TemporalEdge> = g.edges().collect();
+    assert!(edges.len() >= 5, "too few edges to split");
+    assert!(g.num_nodes() >= 3, "too few vertices for negative sampling");
+    {
+        let n = g.num_nodes();
+        let distinct_pairs: usize = g.edges().map(|e| e.endpoints()).collect::<HashSet<_>>().len();
+        let capacity = n * (n - 1) - distinct_pairs;
+        assert!(
+            capacity >= edges.len(),
+            "graph too dense for negative sampling: {} positives need unique absent pairs \
+             but only {capacity} non-edges exist",
+            edges.len()
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // (1) Sort by timestamp; (2) temporal tail becomes the test set.
+    edges.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    let test_count = ((edges.len() as f64 * ratios.test).round() as usize)
+        .clamp(1, edges.len() - 2);
+    let head_count = edges.len() - test_count;
+    let test_pos = edges.split_off(head_count);
+
+    // (3) Random train/valid partition of the head, sized as fractions of
+    // the total edge count.
+    edges.shuffle(&mut rng);
+    let train_count = ((g.num_edges() as f64 * ratios.train).round() as usize)
+        .clamp(1, edges.len() - 1);
+    let valid_pos = edges.split_off(train_count);
+    let train_pos = edges;
+
+    // (4) Negative sampling — corrupt endpoints until the pair is absent
+    // from the *input graph* (any timestamp) and unseen among negatives.
+    let existing: HashSet<(NodeId, NodeId)> =
+        g.edges().map(|e| (e.src, e.dst)).collect();
+    let mut used: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let n = g.num_nodes() as NodeId;
+    let mut sample_negatives = |count: usize, rng: &mut StdRng| -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            if existing.contains(&(u, v)) || used.contains(&(u, v)) {
+                continue;
+            }
+            used.insert((u, v));
+            out.push((u, v));
+        }
+        out
+    };
+    let train_neg = sample_negatives(train_pos.len(), &mut rng);
+    let valid_neg = sample_negatives(valid_pos.len(), &mut rng);
+    let test_neg = sample_negatives(test_pos.len(), &mut rng);
+
+    EdgeSplit { train_pos, valid_pos, test_pos, train_neg, valid_neg, test_neg }
+}
+
+/// Feature matrices and labels for one classification task, ready for
+/// [`nn::Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPredData {
+    /// Training features (concatenated endpoint embeddings).
+    pub x_train: Tensor2,
+    /// Training labels (1 = real edge, 0 = negative).
+    pub y_train: Vec<f32>,
+    /// Validation features.
+    pub x_valid: Tensor2,
+    /// Validation labels.
+    pub y_valid: Vec<f32>,
+    /// Test features.
+    pub x_test: Tensor2,
+    /// Test labels.
+    pub y_test: Vec<f32>,
+}
+
+/// Assembles link prediction datasets from an edge split and embeddings
+/// (step 4 of Fig. 7: edge feature = `[f(u), f(v)]`).
+pub fn link_prediction_data(split: &EdgeSplit, emb: &EmbeddingMatrix) -> LinkPredData {
+    let pack = |pos: &[TemporalEdge], neg: &[(NodeId, NodeId)]| -> (Tensor2, Vec<f32>) {
+        let rows = pos.len() + neg.len();
+        let dim = emb.dim() * 2;
+        let mut x = Tensor2::zeros(rows, dim);
+        let mut y = Vec::with_capacity(rows);
+        for (i, e) in pos.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(&emb.edge_feature(e.src, e.dst));
+            y.push(1.0);
+        }
+        for (i, &(u, v)) in neg.iter().enumerate() {
+            x.row_mut(pos.len() + i).copy_from_slice(&emb.edge_feature(u, v));
+            y.push(0.0);
+        }
+        (x, y)
+    };
+    let (x_train, y_train) = pack(&split.train_pos, &split.train_neg);
+    let (x_valid, y_valid) = pack(&split.valid_pos, &split.valid_neg);
+    let (x_test, y_test) = pack(&split.test_pos, &split.test_neg);
+    LinkPredData { x_train, y_train, x_valid, y_valid, x_test, y_test }
+}
+
+/// Node classification datasets (features = node embeddings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeClassData {
+    /// Training features.
+    pub x_train: Tensor2,
+    /// Training class labels.
+    pub y_train: Vec<usize>,
+    /// Validation features.
+    pub x_valid: Tensor2,
+    /// Validation class labels.
+    pub y_valid: Vec<usize>,
+    /// Test features.
+    pub x_test: Tensor2,
+    /// Test class labels.
+    pub y_test: Vec<usize>,
+    /// Number of distinct classes (`|C|`, the output layer width).
+    pub num_classes: usize,
+}
+
+/// Splits labeled vertices 60/20/20 stratified by class and gathers their
+/// embeddings as features.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != emb.num_nodes()`, or any class has fewer
+/// than 3 members (stratification needs one per split).
+pub fn node_classification_data(
+    emb: &EmbeddingMatrix,
+    labels: &[u16],
+    ratios: SplitRatios,
+    seed: u64,
+) -> NodeClassData {
+    assert_eq!(labels.len(), emb.num_nodes(), "label count mismatch");
+    let num_classes = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut train_idx = Vec::new();
+    let mut valid_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for c in 0..num_classes as u16 {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(members.len() >= 3, "class {c} has fewer than 3 members");
+        members.shuffle(&mut rng);
+        let n_test = ((members.len() as f64 * ratios.test).round() as usize)
+            .clamp(1, members.len() - 2);
+        let n_valid = ((members.len() as f64 * ratios.valid).round() as usize)
+            .clamp(1, members.len() - n_test - 1);
+        test_idx.extend(members.drain(..n_test));
+        valid_idx.extend(members.drain(..n_valid));
+        train_idx.extend(members);
+    }
+
+    let gather = |idx: &[usize]| -> (Tensor2, Vec<usize>) {
+        let mut x = Tensor2::zeros(idx.len(), emb.dim());
+        let mut y = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(emb.get(i as NodeId));
+            y.push(labels[i] as usize);
+        }
+        (x, y)
+    };
+    let (x_train, y_train) = gather(&train_idx);
+    let (x_valid, y_valid) = gather(&valid_idx);
+    let (x_test, y_test) = gather(&test_idx);
+    NodeClassData { x_train, y_train, x_valid, y_valid, x_test, y_test, num_classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedding_for(n: usize) -> EmbeddingMatrix {
+        // Arbitrary deterministic embedding: e(v) = [v, v^2 mod 7] scaled.
+        let data: Vec<f32> = (0..n)
+            .flat_map(|v| [v as f32 / n as f32, ((v * v) % 7) as f32 / 7.0])
+            .collect();
+        EmbeddingMatrix::from_vec(n, 2, data)
+    }
+
+    #[test]
+    fn split_counts_respect_ratios() {
+        let g = tgraph::gen::erdos_renyi(200, 5_000, 2).build();
+        let s = temporal_edge_split(&g, SplitRatios::default(), 1);
+        let total = 5_000f64;
+        assert!((s.test_pos.len() as f64 - total * 0.2).abs() <= 1.0);
+        assert!((s.train_pos.len() as f64 - total * 0.6).abs() <= 1.0);
+        assert_eq!(s.train_neg.len(), s.train_pos.len());
+        assert_eq!(s.valid_neg.len(), s.valid_pos.len());
+        assert_eq!(s.test_neg.len(), s.test_pos.len());
+    }
+
+    #[test]
+    fn test_set_is_temporal_tail() {
+        let g = tgraph::gen::erdos_renyi(100, 1_000, 3).build();
+        let s = temporal_edge_split(&g, SplitRatios::default(), 2);
+        let head_max = s
+            .train_pos
+            .iter()
+            .chain(&s.valid_pos)
+            .map(|e| e.time)
+            .fold(f64::MIN, f64::max);
+        let tail_min = s.test_pos.iter().map(|e| e.time).fold(f64::MAX, f64::min);
+        assert!(head_max <= tail_min, "head {head_max} > tail {tail_min}");
+    }
+
+    #[test]
+    fn negatives_are_absent_from_graph_and_unique() {
+        let g = tgraph::gen::erdos_renyi(50, 500, 4).build();
+        let s = temporal_edge_split(&g, SplitRatios::default(), 3);
+        let mut seen = HashSet::new();
+        for &(u, v) in s.train_neg.iter().chain(&s.valid_neg).chain(&s.test_neg) {
+            assert!(!g.has_edge(u, v), "negative ({u}, {v}) exists in graph");
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)), "duplicate negative ({u}, {v})");
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_complete() {
+        let g = tgraph::gen::erdos_renyi(80, 900, 5).build();
+        let s = temporal_edge_split(&g, SplitRatios::default(), 4);
+        assert_eq!(
+            s.train_pos.len() + s.valid_pos.len() + s.test_pos.len(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn link_pred_features_concatenate_embeddings() {
+        let g = tgraph::gen::erdos_renyi(30, 200, 6).build();
+        let s = temporal_edge_split(&g, SplitRatios::default(), 5);
+        let emb = embedding_for(30);
+        let data = link_prediction_data(&s, &emb);
+        assert_eq!(data.x_train.cols(), 4); // 2 * dim
+        assert_eq!(data.x_train.rows(), data.y_train.len());
+        // First training row is the first positive edge's concatenated
+        // embedding with label 1.
+        let e = &s.train_pos[0];
+        assert_eq!(data.x_train.row(0), emb.edge_feature(e.src, e.dst).as_slice());
+        assert_eq!(data.y_train[0], 1.0);
+        // Positives and negatives are balanced.
+        let pos = data.y_train.iter().filter(|&&y| y == 1.0).count();
+        assert_eq!(pos * 2, data.y_train.len());
+    }
+
+    #[test]
+    fn node_class_split_is_stratified() {
+        let n = 90;
+        let labels: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        let emb = embedding_for(n);
+        let d = node_classification_data(&emb, &labels, SplitRatios::default(), 6);
+        assert_eq!(d.num_classes, 3);
+        for split in [&d.y_train, &d.y_valid, &d.y_test] {
+            for c in 0..3usize {
+                assert!(split.contains(&c), "class {c} missing from a split");
+            }
+        }
+        assert_eq!(
+            d.y_train.len() + d.y_valid.len() + d.y_test.len(),
+            n
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 3 members")]
+    fn tiny_class_panics() {
+        let labels = vec![0u16, 0, 0, 1];
+        let emb = embedding_for(4);
+        let _ = node_classification_data(&emb, &labels, SplitRatios::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratios must sum to 1")]
+    fn bad_ratios_panic() {
+        let _ = SplitRatios::new(0.5, 0.2, 0.2);
+    }
+}

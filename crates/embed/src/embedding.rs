@@ -1,0 +1,138 @@
+//! Final (dense, immutable) node embeddings.
+
+use tgraph::NodeId;
+
+/// The learned embedding `f : V → R^d`, row-major and packed.
+///
+/// # Examples
+///
+/// ```
+/// use embed::EmbeddingMatrix;
+///
+/// let e = EmbeddingMatrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+/// assert_eq!(e.get(0), &[1.0, 0.0, 0.0]);
+/// assert!(e.cosine(0, 1).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingMatrix {
+    num_nodes: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingMatrix {
+    /// Wraps a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != num_nodes * dim`.
+    pub fn from_vec(num_nodes: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), num_nodes * dim, "buffer does not match shape");
+        Self { num_nodes, dim, data }
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Embedding vector of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn get(&self, node: NodeId) -> &[f32] {
+        let n = node as usize;
+        &self.data[n * self.dim..(n + 1) * self.dim]
+    }
+
+    /// Flat row-major view of all embeddings.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cosine similarity between two nodes' embeddings (0 when either
+    /// vector is zero).
+    pub fn cosine(&self, a: NodeId, b: NodeId) -> f32 {
+        let (va, vb) = (self.get(a), self.get(b));
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// The `k` nearest neighbors of `node` by cosine similarity
+    /// (excluding `node` itself), most similar first.
+    pub fn nearest(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+        let mut scored: Vec<(NodeId, f32)> = (0..self.num_nodes as NodeId)
+            .filter(|&v| v != node)
+            .map(|v| (v, self.cosine(node, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Concatenated edge feature `[f(u), f(v)]` (paper §IV-B follows
+    /// node2vec's operator catalog; the paper picks concatenation).
+    pub fn edge_feature(&self, u: NodeId, v: NodeId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * self.dim);
+        out.extend_from_slice(self.get(u));
+        out.extend_from_slice(self.get(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmbeddingMatrix {
+        EmbeddingMatrix::from_vec(
+            3,
+            2,
+            vec![
+                1.0, 0.0, // node 0
+                0.9, 0.1, // node 1 (close to 0)
+                0.0, 1.0, // node 2 (orthogonal)
+            ],
+        )
+    }
+
+    #[test]
+    fn cosine_orders_similarity() {
+        let e = sample();
+        assert!(e.cosine(0, 1) > e.cosine(0, 2));
+        assert!((e.cosine(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_excludes_self_and_sorts() {
+        let e = sample();
+        let nn = e.nearest(0, 2);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 1);
+        assert_eq!(nn[1].0, 2);
+    }
+
+    #[test]
+    fn edge_feature_concatenates() {
+        let e = sample();
+        assert_eq!(e.edge_feature(0, 2), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        let e = EmbeddingMatrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(e.cosine(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Binary serialization of embeddings and walk corpora.
+//!
+//! In the paper's deployment story the pipeline re-runs as the graph
+//! evolves; persisting the walk corpus and the learned embeddings lets
+//! downstream stages restart without recomputing the upstream phases.
+//! Formats are little-endian with a 4-byte magic and are
+//! version-checked on load.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+use tgraph::NodeId;
+use twalk::WalkSet;
+
+use crate::EmbeddingMatrix;
+
+const EMB_MAGIC: &[u8; 4] = b"EMB1";
+const WLK_MAGIC: &[u8; 4] = b"WLK1";
+
+/// Errors from the binary (de)serialization routines.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The input is not in the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io error: {e}"),
+            CodecError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Encodes an embedding matrix to its binary form.
+pub fn encode_embeddings(emb: &EmbeddingMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + emb.as_slice().len() * 4);
+    buf.put_slice(EMB_MAGIC);
+    buf.put_u32_le(emb.num_nodes() as u32);
+    buf.put_u32_le(emb.dim() as u32);
+    for &v in emb.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Writes an embedding matrix to any writer.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on write failure.
+pub fn write_embeddings<W: Write>(mut w: W, emb: &EmbeddingMatrix) -> Result<(), CodecError> {
+    w.write_all(&encode_embeddings(emb))?;
+    Ok(())
+}
+
+/// Reads an embedding matrix from any reader.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Format`] on a bad magic, truncated payload, or
+/// non-finite values, and [`CodecError::Io`] on read failure.
+pub fn read_embeddings<R: Read>(mut r: R) -> Result<EmbeddingMatrix, CodecError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 12 {
+        return Err(CodecError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != EMB_MAGIC {
+        return Err(CodecError::Format(format!("bad magic {magic:?}")));
+    }
+    let nodes = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let expected = nodes
+        .checked_mul(dim)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| CodecError::Format("size overflow".into()))?;
+    if buf.remaining() != expected {
+        return Err(CodecError::Format(format!(
+            "expected {expected} payload bytes, found {}",
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(nodes * dim);
+    for _ in 0..nodes * dim {
+        let v = buf.get_f32_le();
+        if !v.is_finite() {
+            return Err(CodecError::Format("non-finite embedding value".into()));
+        }
+        data.push(v);
+    }
+    Ok(EmbeddingMatrix::from_vec(nodes, dim, data))
+}
+
+/// Encodes a walk corpus to its binary form.
+pub fn encode_walks(walks: &WalkSet) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(WLK_MAGIC);
+    buf.put_u32_le(walks.num_walks() as u32);
+    buf.put_u32_le(walks.max_length() as u32);
+    for w in walks.iter() {
+        buf.put_u32_le(w.len() as u32);
+        for &v in w {
+            buf.put_u32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Writes a walk corpus to any writer.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on write failure.
+pub fn write_walks<W: Write>(mut w: W, walks: &WalkSet) -> Result<(), CodecError> {
+    w.write_all(&encode_walks(walks))?;
+    Ok(())
+}
+
+/// Reads a walk corpus from any reader.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Format`] on malformed input (bad magic, truncated
+/// walks, zero-length or overlong walks) and [`CodecError::Io`] on read
+/// failure.
+pub fn read_walks<R: Read>(mut r: R) -> Result<WalkSet, CodecError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 12 {
+        return Err(CodecError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != WLK_MAGIC {
+        return Err(CodecError::Format(format!("bad magic {magic:?}")));
+    }
+    let num_walks = buf.get_u32_le() as usize;
+    let max_len = buf.get_u32_le() as usize;
+    if max_len == 0 {
+        return Err(CodecError::Format("zero max length".into()));
+    }
+    let mut walks: Vec<Vec<NodeId>> = Vec::with_capacity(num_walks);
+    for i in 0..num_walks {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Format(format!("truncated at walk {i}")));
+        }
+        let len = buf.get_u32_le() as usize;
+        if len == 0 || len > max_len {
+            return Err(CodecError::Format(format!("walk {i} has invalid length {len}")));
+        }
+        if buf.remaining() < len * 4 {
+            return Err(CodecError::Format(format!("truncated payload at walk {i}")));
+        }
+        walks.push((0..len).map(|_| buf.get_u32_le()).collect());
+    }
+    Ok(WalkSet::from_walks(&walks, max_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_round_trip() {
+        let emb = EmbeddingMatrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.25, 3.0, -0.125]);
+        let mut buf = Vec::new();
+        write_embeddings(&mut buf, &emb).unwrap();
+        let back = read_embeddings(buf.as_slice()).unwrap();
+        assert_eq!(emb, back);
+    }
+
+    #[test]
+    fn walks_round_trip() {
+        let walks = WalkSet::from_walks(&[vec![1, 2, 3], vec![9], vec![4, 5]], 4);
+        let mut buf = Vec::new();
+        write_walks(&mut buf, &walks).unwrap();
+        let back = read_walks(buf.as_slice()).unwrap();
+        assert_eq!(walks, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_embeddings(&b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)));
+        let err = read_walks(&b"NOPE\x00\x00\x00\x00\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let emb = EmbeddingMatrix::from_vec(2, 2, vec![0.0; 4]);
+        let full = encode_embeddings(&emb);
+        let err = read_embeddings(&full[..full.len() - 1]).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)));
+    }
+
+    #[test]
+    fn corrupt_walk_length_is_rejected() {
+        let walks = WalkSet::from_walks(&[vec![1, 2]], 2);
+        let mut enc = encode_walks(&walks).to_vec();
+        enc[12] = 99; // first walk's length byte -> exceeds max_len
+        let err = read_walks(enc.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)));
+    }
+
+    #[test]
+    fn real_training_output_survives_round_trip() {
+        let g = tgraph::gen::erdos_renyi(50, 400, 1).build();
+        let walks = twalk::generate_walks_serial(&g, &twalk::WalkConfig::new(2, 5));
+        let emb = crate::train(
+            &walks,
+            g.num_nodes(),
+            &crate::Word2VecConfig::default().epochs(1),
+            &par::ParConfig::with_threads(1),
+        );
+        let eb = encode_embeddings(&emb);
+        let wb = encode_walks(&walks);
+        assert_eq!(read_embeddings(&eb[..]).unwrap(), emb);
+        assert_eq!(read_walks(&wb[..]).unwrap(), walks);
+    }
+}

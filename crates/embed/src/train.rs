@@ -1,0 +1,424 @@
+//! The SGNS trainer: sequential, hogwild-parallel, and sentence-batched.
+
+// Indexed loops over parallel arrays are the intended idiom here.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use par::{parallel_for_index, ParConfig};
+use twalk::{WalkRng, WalkSet};
+
+use crate::{EmbeddingMatrix, NegativeTable, Reduction, SharedMatrix, SigmoidTable, Word2VecConfig};
+
+/// Throughput accounting for a batched run (feeds the Fig. 5 study, where
+/// each batch corresponds to one GPU kernel launch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRunStats {
+    /// Number of sentence batches processed (= modeled kernel launches).
+    pub batches: usize,
+    /// Total tokens consumed across all epochs.
+    pub tokens: usize,
+    /// Wall-clock training time.
+    pub duration: Duration,
+}
+
+/// Trains embeddings over the whole corpus with hogwild parallelism —
+/// equivalent to [`train_batched`] with one batch per epoch.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty or any token is `>= num_nodes`.
+///
+/// # Examples
+///
+/// ```
+/// use embed::{train, Word2VecConfig};
+/// use par::ParConfig;
+/// use twalk::WalkSet;
+///
+/// let corpus = WalkSet::from_walks(&[vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2]], 4);
+/// let emb = train(&corpus, 3, &Word2VecConfig::default().epochs(2), &ParConfig::with_threads(1));
+/// assert_eq!(emb.num_nodes(), 3);
+/// ```
+pub fn train(
+    corpus: &WalkSet,
+    num_nodes: usize,
+    cfg: &Word2VecConfig,
+    par: &ParConfig,
+) -> EmbeddingMatrix {
+    train_batched(corpus, num_nodes, cfg, par, usize::MAX).0
+}
+
+/// Trains embeddings processing sentences in batches of `batch_size`:
+/// batches run one after another (each models a GPU kernel launch), and
+/// sentences *within* a batch update the shared model concurrently —
+/// the paper's §V-B batching optimization.
+///
+/// `batch_size = 1` reproduces the unbatched baseline (one "launch" per
+/// sentence, no intra-batch parallelism); `usize::MAX` processes each epoch
+/// as a single batch.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty, `batch_size == 0`, or any token is out of
+/// range for `num_nodes`.
+pub fn train_batched(
+    corpus: &WalkSet,
+    num_nodes: usize,
+    cfg: &Word2VecConfig,
+    par: &ParConfig,
+    batch_size: usize,
+) -> (EmbeddingMatrix, BatchRunStats) {
+    assert!(batch_size > 0, "batch size must be positive");
+    let n_sentences = corpus.num_walks();
+    assert!(n_sentences > 0, "empty corpus");
+    let total_tokens = corpus.total_vertices() * cfg.epochs;
+
+    let stride = cfg.stride();
+    let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
+    let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
+    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
+    let sigmoid = SigmoidTable::default();
+    let processed = AtomicU64::new(0);
+
+    let start = Instant::now();
+    let mut batches = 0usize;
+    for epoch in 0..cfg.epochs {
+        let mut lo = 0usize;
+        while lo < n_sentences {
+            let hi = lo.saturating_add(batch_size).min(n_sentences);
+            batches += 1;
+            let batch_len = hi - lo;
+            // Within a batch: concurrent (stale-read tolerant) updates.
+            parallel_for_index(par, batch_len, |i| {
+                let s = lo + i;
+                let walk = corpus.walk(s);
+                let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                let lr = (cfg.initial_lr
+                    * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                    .max(cfg.min_lr);
+                let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
+                train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+            });
+            lo = hi;
+        }
+    }
+
+    let stats = BatchRunStats {
+        batches,
+        tokens: total_tokens,
+        duration: start.elapsed(),
+    };
+    (
+        EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense()),
+        stats,
+    )
+}
+
+/// Continues training from existing embeddings (warm start) — the
+/// incremental-refresh primitive. `initial` seeds the input vectors;
+/// vertices beyond `initial.num_nodes()` (new arrivals) get fresh random
+/// init. The output-side (`syn1`) context vectors restart from zero, a
+/// standard approximation for incremental SGNS.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty, `cfg.dim != initial.dim()`, or
+/// `num_nodes < initial.num_nodes()`.
+pub fn train_from(
+    corpus: &WalkSet,
+    num_nodes: usize,
+    initial: &EmbeddingMatrix,
+    cfg: &Word2VecConfig,
+    par: &ParConfig,
+) -> EmbeddingMatrix {
+    assert_eq!(cfg.dim, initial.dim(), "dimension mismatch with initial embeddings");
+    assert!(
+        num_nodes >= initial.num_nodes(),
+        "node count shrank below the initial embedding table"
+    );
+    let n_sentences = corpus.num_walks();
+    assert!(n_sentences > 0, "empty corpus");
+    let total_tokens = corpus.total_vertices() * cfg.epochs;
+    let stride = cfg.stride();
+    let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
+    for v in 0..initial.num_nodes() {
+        syn0.write_row(v, initial.get(v as tgraph::NodeId));
+    }
+    let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
+    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
+    let sigmoid = SigmoidTable::default();
+    let processed = AtomicU64::new(0);
+
+    for epoch in 0..cfg.epochs {
+        parallel_for_index(par, n_sentences, |s| {
+            let walk = corpus.walk(s);
+            let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+            let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                .max(cfg.min_lr);
+            let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
+            train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+        });
+    }
+    EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense())
+}
+
+/// Coarse-lock ablation baseline for hogwild: identical updates, but a
+/// single global mutex serializes every sentence's model access. Exists to
+/// quantify what lock-free staleness-tolerant updates buy (the design
+/// choice behind the paper's batching optimization); see the
+/// `bench_w2v` `locking` group.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty or any token is out of range.
+pub fn train_locked(
+    corpus: &WalkSet,
+    num_nodes: usize,
+    cfg: &Word2VecConfig,
+    par: &ParConfig,
+) -> EmbeddingMatrix {
+    let n_sentences = corpus.num_walks();
+    assert!(n_sentences > 0, "empty corpus");
+    let total_tokens = corpus.total_vertices() * cfg.epochs;
+    let stride = cfg.stride();
+    let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
+    let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
+    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
+    let sigmoid = SigmoidTable::default();
+    let processed = AtomicU64::new(0);
+    let lock = parking_lot::Mutex::new(());
+
+    for epoch in 0..cfg.epochs {
+        parallel_for_index(par, n_sentences, |s| {
+            let walk = corpus.walk(s);
+            let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+            let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                .max(cfg.min_lr);
+            let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
+            let _guard = lock.lock();
+            train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+        });
+    }
+    EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense())
+}
+
+/// One skip-gram pass over a sentence: for every center position, each
+/// in-window context word is pushed toward the center and away from
+/// `negatives` sampled vertices.
+#[allow(clippy::too_many_arguments)]
+fn train_sentence(
+    walk: &[tgraph::NodeId],
+    syn0: &SharedMatrix,
+    syn1: &SharedMatrix,
+    table: &NegativeTable,
+    sigmoid: &SigmoidTable,
+    cfg: &Word2VecConfig,
+    lr: f32,
+    rng: &mut WalkRng,
+) {
+    let dim = cfg.dim;
+    let mut h = vec![0.0f32; dim];
+    let mut tmp = vec![0.0f32; dim];
+    let mut e = vec![0.0f32; dim];
+
+    for i in 0..walk.len() {
+        let center = walk[i];
+        // Shrunk window, as in reference word2vec.
+        let b = 1 + rng.next_bounded(cfg.window);
+        let lo = i.saturating_sub(b);
+        let hi = (i + b).min(walk.len() - 1);
+        for j in lo..=hi {
+            if j == i {
+                continue;
+            }
+            let input = walk[j] as usize;
+            syn0.read_row(input, &mut h);
+            e.iter_mut().for_each(|x| *x = 0.0);
+
+            for k in 0..=cfg.negatives {
+                let (target, label) = if k == 0 {
+                    (center as usize, 1.0f32)
+                } else {
+                    let t = table.sample(rng) as usize;
+                    if t == center as usize {
+                        continue;
+                    }
+                    (t, 0.0)
+                };
+                let f = match cfg.reduction {
+                    Reduction::Scalar => syn1.dot_scalar(target, &h),
+                    Reduction::Chunked => syn1.dot_chunked(target, &h),
+                };
+                let g = (label - sigmoid.get(f)) * lr;
+                syn1.read_row(target, &mut tmp);
+                for (ev, &tv) in e.iter_mut().zip(&tmp) {
+                    *ev += g * tv;
+                }
+                syn1.add_scaled(target, g, &h);
+            }
+            syn0.add_scaled(input, 1.0, &e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use par::ParConfig;
+
+    /// Builds a corpus of two disjoint token "communities" that co-occur
+    /// only internally.
+    fn two_community_corpus() -> (WalkSet, usize) {
+        let mut walks = Vec::new();
+        for rep in 0..60u32 {
+            let a = rep % 5;
+            walks.push(vec![a, (a + 1) % 5, (a + 2) % 5, (a + 3) % 5]);
+            walks.push(vec![5 + a, 5 + (a + 1) % 5, 5 + (a + 2) % 5, 5 + (a + 3) % 5]);
+        }
+        (WalkSet::from_walks(&walks, 4), 10)
+    }
+
+    fn mean_intra_inter(emb: &EmbeddingMatrix) -> (f32, f32) {
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                let sim = emb.cosine(a, b);
+                if (a < 5) == (b < 5) {
+                    intra.push(sim);
+                } else {
+                    inter.push(sim);
+                }
+            }
+        }
+        (
+            intra.iter().sum::<f32>() / intra.len() as f32,
+            inter.iter().sum::<f32>() / inter.len() as f32,
+        )
+    }
+
+    #[test]
+    fn embeddings_separate_cooccurrence_communities() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().dim(8).epochs(8).seed(1);
+        let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+        let (intra, inter) = mean_intra_inter(&emb);
+        assert!(
+            intra > inter + 0.2,
+            "intra {intra} not separated from inter {inter}"
+        );
+    }
+
+    #[test]
+    fn hogwild_parallelism_preserves_quality() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().dim(8).epochs(8).seed(2);
+        let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(4).chunk_size(4));
+        let (intra, inter) = mean_intra_inter(&emb);
+        assert!(
+            intra > inter + 0.2,
+            "parallel training lost quality: intra {intra}, inter {inter}"
+        );
+    }
+
+    #[test]
+    fn batched_and_unbatched_have_same_token_accounting() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(2).seed(3);
+        let par = ParConfig::with_threads(2);
+        let (_e1, s1) = train_batched(&corpus, n, &cfg, &par, 7);
+        let (_e2, s2) = train_batched(&corpus, n, &cfg, &par, usize::MAX);
+        assert_eq!(s1.tokens, s2.tokens);
+        assert_eq!(s2.batches, 2); // one per epoch
+        assert_eq!(s1.batches, 2 * corpus.num_walks().div_ceil(7));
+    }
+
+    #[test]
+    fn layout_and_reduction_variants_learn_equally() {
+        use crate::{Layout, Reduction};
+        let (corpus, n) = two_community_corpus();
+        for layout in [Layout::Packed, Layout::Padded] {
+            for reduction in [Reduction::Scalar, Reduction::Chunked] {
+                let cfg = Word2VecConfig::default()
+                    .epochs(6)
+                    .seed(4)
+                    .layout(layout)
+                    .reduction(reduction);
+                let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+                let (intra, inter) = mean_intra_inter(&emb);
+                assert!(
+                    intra > inter,
+                    "{layout:?}/{reduction:?}: intra {intra} <= inter {inter}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_training_is_deterministic() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(2).seed(5);
+        let a = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+        let b = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_start_preserves_untouched_vectors_direction() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(4).seed(11);
+        let base = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+        // Refresh with a corpus that never mentions nodes 5..10: their
+        // vectors must be exactly preserved.
+        let sub = WalkSet::from_walks(&[vec![0, 1, 2], vec![2, 3, 4]], 4);
+        let refreshed = train_from(&sub, n, &base, &cfg.clone().epochs(1), &ParConfig::with_threads(1));
+        for v in 5..10u32 {
+            assert_eq!(refreshed.get(v), base.get(v), "untouched node {v} moved");
+        }
+        assert_eq!(refreshed.num_nodes(), n);
+    }
+
+    #[test]
+    fn warm_start_grows_vocabulary() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(2).seed(12);
+        let base = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+        let grown = WalkSet::from_walks(&[vec![0, 10, 11], vec![11, 10, 0]], 4);
+        let refreshed = train_from(&grown, 12, &base, &cfg, &ParConfig::with_threads(1));
+        assert_eq!(refreshed.num_nodes(), 12);
+        // New nodes have non-zero vectors after training on them.
+        assert!(refreshed.get(11).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn warm_start_rejects_dim_change() {
+        let (corpus, n) = two_community_corpus();
+        let base = train(&corpus, n, &Word2VecConfig::default().epochs(1), &ParConfig::with_threads(1));
+        let _ = train_from(&corpus, n, &base, &Word2VecConfig::default().dim(16), &ParConfig::with_threads(1));
+    }
+
+    #[test]
+    fn locked_training_matches_hogwild_quality() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(6).seed(8);
+        let emb = train_locked(&corpus, n, &cfg, &ParConfig::with_threads(4));
+        let (intra, inter) = mean_intra_inter(&emb);
+        assert!(intra > inter + 0.2, "locked: intra {intra} inter {inter}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let (corpus, n) = two_community_corpus();
+        let _ = train_batched(
+            &corpus,
+            n,
+            &Word2VecConfig::default(),
+            &ParConfig::default(),
+            0,
+        );
+    }
+}

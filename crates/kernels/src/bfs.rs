@@ -1,0 +1,101 @@
+//! Level-synchronous breadth-first search (the Fig. 3 "BFS" workload).
+
+use tgraph::{NodeId, TemporalGraph};
+
+/// Depth of every vertex from `source` (ignoring timestamps — BFS here is
+/// the *traditional* traversal the paper contrasts against), or
+/// `u32::MAX` for unreachable vertices.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use tgraph::{GraphBuilder, TemporalEdge};
+///
+/// let g = GraphBuilder::new()
+///     .add_edge(TemporalEdge::new(0, 1, 0.0))
+///     .add_edge(TemporalEdge::new(1, 2, 0.0))
+///     .num_nodes(4)
+///     .build();
+/// let depth = kernels::bfs_levels(&g, 0);
+/// assert_eq!(depth, vec![0, 1, 2, u32::MAX]);
+/// ```
+pub fn bfs_levels(g: &TemporalGraph, source: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut depth = vec![u32::MAX; n];
+    depth[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        for &u in &frontier {
+            let (dsts, _) = g.neighbor_slices(u);
+            for &v in dsts {
+                if depth[v as usize] == u32::MAX {
+                    depth[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{GraphBuilder, TemporalEdge};
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.0))
+            .add_edge(TemporalEdge::new(1, 2, 0.0))
+            .add_edge(TemporalEdge::new(2, 3, 0.0))
+            .add_edge(TemporalEdge::new(3, 0, 0.0))
+            .build();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_ignores_timestamps() {
+        // Decreasing timestamps are no obstacle to plain BFS.
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.9))
+            .add_edge(TemporalEdge::new(1, 2, 0.1))
+            .build();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_reaches_whole_er_component_consistently() {
+        let g = tgraph::gen::erdos_renyi(500, 4_000, 1).undirected(true).build();
+        let d = bfs_levels(&g, 0);
+        let reached = d.iter().filter(|&&x| x != u32::MAX).count();
+        // Dense ER graph: the giant component holds nearly everything.
+        assert!(reached > 450, "only {reached} reached");
+        // Triangle inequality sanity: neighbor depths differ by at most 1
+        // when both reached.
+        for e in g.edges() {
+            let (a, b) = (d[e.src as usize], d[e.dst as usize]);
+            if a != u32::MAX && b != u32::MAX {
+                assert!(a.abs_diff(b) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let g = GraphBuilder::new().add_edge(TemporalEdge::new(0, 1, 0.0)).build();
+        let _ = bfs_levels(&g, 9);
+    }
+}

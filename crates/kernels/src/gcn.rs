@@ -1,0 +1,193 @@
+//! Graph convolution network inference (the Fig. 3 "GCN" workload).
+
+use nn::gemm::matmul;
+use nn::Tensor2;
+use tgraph::{NodeId, TemporalGraph};
+
+/// A sparse matrix in CSR form with `f32` values, used for the normalized
+/// adjacency `Â = D^{-1/2} (A + I) D^{-1/2}` of GCN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    offsets: Vec<usize>,
+    cols: Vec<NodeId>,
+    vals: Vec<f32>,
+    n: usize,
+}
+
+impl CsrMatrix {
+    /// Dimension (square matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Sparse × dense product `Y = S · X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != n`.
+    pub fn spmm(&self, x: &Tensor2) -> Tensor2 {
+        assert_eq!(x.rows(), self.n, "dimension mismatch in spmm");
+        let mut y = Tensor2::zeros(self.n, x.cols());
+        for r in 0..self.n {
+            let (a, b) = (self.offsets[r], self.offsets[r + 1]);
+            let yrow = y.row_mut(r);
+            for k in a..b {
+                let c = self.cols[k] as usize;
+                let v = self.vals[k];
+                for (yo, xo) in yrow.iter_mut().zip(x.row(c)) {
+                    *yo += v * xo;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// Builds the symmetric-normalized adjacency with self-loops,
+/// `Â = D^{-1/2} (A + I) D^{-1/2}`, collapsing temporal multi-edges (GCN
+/// operates on the static projection of the graph — exactly the
+/// information loss the paper motivates temporal walks to avoid).
+pub fn normalized_adjacency(g: &TemporalGraph) -> CsrMatrix {
+    let n = g.num_nodes();
+    // Collapse multi-edges: adjacency sets including self-loops.
+    let mut neigh: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n as NodeId {
+        let (dsts, _) = g.neighbor_slices(v);
+        let mut set: Vec<NodeId> = dsts.to_vec();
+        set.push(v);
+        set.sort_unstable();
+        set.dedup();
+        neigh[v as usize] = set;
+    }
+    let deg: Vec<f32> = neigh.iter().map(|s| s.len() as f32).collect();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for v in 0..n {
+        for &u in &neigh[v] {
+            cols.push(u);
+            vals.push(1.0 / (deg[v] * deg[u as usize]).sqrt());
+        }
+        offsets.push(cols.len());
+    }
+    CsrMatrix { offsets, cols, vals, n }
+}
+
+/// A GCN for inference: `H_{l+1} = ReLU(Â · H_l · W_l)` with no activation
+/// after the last layer.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    weights: Vec<Tensor2>,
+}
+
+impl GcnModel {
+    /// Creates a model with Xavier-initialized layers of the given widths
+    /// (`dims[0]` = input feature width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let weights = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Tensor2::xavier(w[0], w[1], seed.wrapping_add(i as u64)))
+            .collect();
+        Self { weights }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Full-graph inference from input features `x` (`n × dims[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn infer(&self, adj: &CsrMatrix, x: &Tensor2) -> Tensor2 {
+        let mut h = x.clone();
+        for (i, w) in self.weights.iter().enumerate() {
+            let agg = adj.spmm(&h);
+            let mut z = matmul(&agg, w);
+            if i + 1 < self.weights.len() {
+                for v in z.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            h = z;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{GraphBuilder, TemporalEdge};
+
+    #[test]
+    fn normalization_rows_are_consistent() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.0))
+            .add_edge(TemporalEdge::new(1, 0, 0.0))
+            .add_edge(TemporalEdge::new(1, 2, 0.0))
+            .add_edge(TemporalEdge::new(2, 1, 0.0))
+            .build();
+        let a = normalized_adjacency(&g);
+        assert_eq!(a.n(), 3);
+        // Node 0: neighbors {0, 1}; deg(0)=2, deg(1)=3.
+        // Â[0][0] = 1/2, Â[0][1] = 1/sqrt(6).
+        let x = Tensor2::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+        let y = a.spmm(&x);
+        assert!((y.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((y.get(1, 0) - 1.0 / 6.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_edges_collapse() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.1))
+            .add_edge(TemporalEdge::new(0, 1, 0.5))
+            .add_edge(TemporalEdge::new(0, 1, 0.9))
+            .build();
+        let a = normalized_adjacency(&g);
+        // Row 0 stores {0, 1} once each plus row 1 stores {1}: 3 nnz.
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn spmm_identity_behavior() {
+        // A graph with no edges yields Â = I (self-loops, degree 1).
+        let g = GraphBuilder::new().num_nodes(4).build();
+        let a = normalized_adjacency(&g);
+        let x = Tensor2::xavier(4, 3, 1);
+        let y = a.spmm(&x);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert!((y.get(r, c) - x.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn inference_shapes_flow_through_layers() {
+        let g = tgraph::gen::erdos_renyi(50, 400, 2).build();
+        let adj = normalized_adjacency(&g);
+        let model = GcnModel::new(&[16, 32, 4], 0);
+        let x = Tensor2::xavier(50, 16, 9);
+        let out = model.infer(&adj, &x);
+        assert_eq!(out.shape(), (50, 4));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,23 @@
+//! Contrast workloads for the paper's Fig. 3 comparison.
+//!
+//! Fig. 3 compares the random-walk learning pipeline against three
+//! well-studied workloads: a pure graph traversal (BFS on a Rodinia-style
+//! synthetic graph), deep learning inference (VGG on ImageNet), and GCN
+//! inference (on Reddit). This crate implements runnable equivalents of all
+//! three so the same instrumentation (see `perfmodel`) can profile them:
+//!
+//! * [`bfs`] — level-synchronous breadth-first search;
+//! * [`gcn`] — multi-layer graph convolution inference
+//!   (`ReLU(Â · X · W)`) over a degree-normalized adjacency;
+//! * [`vgg`] — the GEMM sequence of a VGG-16-like network after im2col
+//!   lowering, scaled down by a configurable factor.
+
+pub mod bfs;
+pub mod gcn;
+pub mod gcn_train;
+pub mod vgg;
+
+pub use bfs::bfs_levels;
+pub use gcn::{normalized_adjacency, CsrMatrix, GcnModel};
+pub use gcn_train::{GcnClassifier, GcnTrainOptions};
+pub use vgg::VggProxy;

@@ -1,0 +1,51 @@
+//! Feed-forward neural network substrate (PyTorch-C++ substitute).
+//!
+//! The paper implements its downstream classifiers with the PyTorch C++
+//! API: a 2-layer FNN with binary cross-entropy for link prediction and a
+//! 3-layer FNN with negative log-likelihood for node classification, both
+//! optimized with SGD (§IV-B). This crate rebuilds exactly that much of a
+//! deep learning framework from scratch:
+//!
+//! * [`Tensor2`] — dense row-major `f32` matrices;
+//! * [`gemm`] — naive, blocked, and parallel matrix multiplication (the
+//!   GEMM kernels the paper's §VIII discussion targets);
+//! * [`Mlp`] — multi-layer perceptron with ReLU hidden layers and either a
+//!   sigmoid/BCE binary head or a log-softmax/NLL multi-class head, with
+//!   manual backpropagation;
+//! * [`Sgd`] — stochastic gradient descent with optional momentum;
+//! * [`Trainer`] — mini-batch training loop with shuffling, validation
+//!   tracking, and per-epoch timing (feeding the paper's Table III);
+//! * [`metrics`] — accuracy, ROC-AUC, and F1.
+//!
+//! # Examples
+//!
+//! Learn XOR with a 2-layer network:
+//!
+//! ```
+//! use nn::{Mlp, OutputHead, Sgd, Tensor2};
+//!
+//! let x = Tensor2::from_rows(&[
+//!     &[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0],
+//! ]);
+//! let y = vec![0.0f32, 1.0, 1.0, 0.0];
+//! let mut mlp = Mlp::new(&[2, 8, 1], OutputHead::Binary, 42);
+//! let mut opt = Sgd::new(0.5);
+//! for _ in 0..2000 {
+//!     let (_loss, grads) = mlp.loss_and_grads_binary(&x, &y);
+//!     opt.step(mlp.params_mut(), &grads);
+//! }
+//! let p = mlp.predict_proba(&x);
+//! assert!(p[0] < 0.3 && p[1] > 0.7 && p[2] > 0.7 && p[3] < 0.3);
+//! ```
+
+pub mod gemm;
+pub mod metrics;
+mod mlp;
+mod sgd;
+mod tensor;
+mod trainer;
+
+pub use mlp::{Mlp, OutputHead};
+pub use sgd::Sgd;
+pub use tensor::Tensor2;
+pub use trainer::{EpochStats, TrainOptions, TrainReport, Trainer};

@@ -1,0 +1,164 @@
+//! Classification quality metrics (the paper reports prediction accuracy;
+//! AUC and F1 are included for completeness of the link prediction study).
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+///
+/// # Examples
+///
+/// ```
+/// let acc = nn::metrics::accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]);
+/// assert!((acc - 0.75).abs() < 1e-9);
+/// ```
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let correct = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Binary accuracy of probability scores at a 0.5 threshold against
+/// `{0.0, 1.0}` targets.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn binary_accuracy(scores: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let correct = scores
+        .iter()
+        .zip(truth)
+        .filter(|&(&s, &t)| (s >= 0.5) == (t >= 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with tie handling by midranks.
+///
+/// Returns 0.5 when either class is absent.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn roc_auc(scores: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+
+    // Midrank assignment over tied score groups.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+
+    let pos = truth.iter().filter(|&&t| t >= 0.5).count();
+    let neg = truth.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|&(&t, _)| t >= 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
+}
+
+/// Macro-averaged F1 over `classes` classes.
+///
+/// Classes absent from both prediction and truth contribute an F1 of 0
+/// unless entirely absent, in which case they are skipped.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn macro_f1(pred: &[usize], truth: &[usize], classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let mut f1s = Vec::new();
+    for c in 0..classes {
+        let tp = pred.iter().zip(truth).filter(|&(&p, &t)| p == c && t == c).count() as f64;
+        let fp = pred.iter().zip(truth).filter(|&(&p, &t)| p == c && t != c).count() as f64;
+        let fn_ = pred.iter().zip(truth).filter(|&(&p, &t)| p != c && t == c).count() as f64;
+        if tp + fp + fn_ == 0.0 {
+            continue; // class entirely absent
+        }
+        let f1 = if tp == 0.0 { 0.0 } else { 2.0 * tp / (2.0 * tp + fp + fn_) };
+        f1s.push(f1);
+    }
+    if f1s.is_empty() {
+        0.0
+    } else {
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scores() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(binary_accuracy(&[0.9, 0.1], &[1.0, 0.0]), 1.0);
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.1, 0.2], &[1.0, 1.0, 0.0, 0.0]), 1.0);
+        assert_eq!(macro_f1(&[0, 1], &[0, 1], 2), 1.0);
+    }
+
+    #[test]
+    fn auc_of_random_scores_is_half() {
+        // Symmetric arrangement: positives at ranks 2 and 3 of 4 -> 0.5.
+        let scores = [0.1f32, 0.2, 0.3, 0.4];
+        let truth = [0.0f32, 1.0, 1.0, 0.0];
+        let auc = roc_auc(&scores, &truth);
+        assert!((auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        let scores = [0.5f32, 0.5, 0.5, 0.5];
+        let truth = [1.0f32, 0.0, 1.0, 0.0];
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc() {
+        let scores = [0.1f32, 0.9];
+        let truth = [1.0f32, 0.0];
+        assert!(roc_auc(&scores, &truth) < 1e-9);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_missing_class() {
+        // Class 1 never predicted.
+        let f1 = macro_f1(&[0, 0, 0, 0], &[0, 0, 1, 1], 2);
+        // class0: tp=2 fp=2 fn=0 -> f1 = 4/6; class1: tp=0 -> 0.
+        assert!((f1 - (4.0 / 6.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+}

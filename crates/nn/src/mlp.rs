@@ -1,0 +1,426 @@
+//! Multi-layer perceptron with manual backpropagation.
+
+// Indexed loops over parallel arrays are the intended idiom here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::gemm::{matmul, matmul_transb};
+use crate::Tensor2;
+
+/// Output head of an [`Mlp`], fixing the final activation and loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputHead {
+    /// Single-logit sigmoid output trained with binary cross-entropy —
+    /// the paper's link prediction head (Eq. 4).
+    Binary,
+    /// `C`-logit log-softmax output trained with negative log-likelihood —
+    /// the paper's node classification head.
+    MultiClass,
+}
+
+/// A feed-forward neural network with ReLU hidden layers.
+///
+/// `dims` gives the layer widths including input and output, so the
+/// paper's 2-layer link prediction FNN over `2d`-dimensional edge features
+/// is `Mlp::new(&[2 * d, hidden, 1], OutputHead::Binary, seed)` and the
+/// 3-layer node classification FNN is
+/// `Mlp::new(&[d, h1, h2, C], OutputHead::MultiClass, seed)`.
+///
+/// Optional residual (skip) connections on equal-width hidden layers
+/// implement the ResNet-style variant the paper suggests in §VIII-A.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    weights: Vec<Tensor2>, // layer i: dims[i] × dims[i+1]
+    biases: Vec<Tensor2>,  // layer i: 1 × dims[i+1]
+    head: OutputHead,
+    residual: bool,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given, any dim is zero, or a
+    /// `Binary` head is requested with output width ≠ 1.
+    pub fn new(dims: &[usize], head: OutputHead, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        if head == OutputHead::Binary {
+            assert_eq!(*dims.last().unwrap(), 1, "binary head needs one output");
+        }
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for (i, w) in dims.windows(2).enumerate() {
+            weights.push(Tensor2::xavier(w[0], w[1], seed.wrapping_add(i as u64)));
+            biases.push(Tensor2::zeros(1, w[1]));
+        }
+        Self { weights, biases, head, residual: false }
+    }
+
+    /// Enables ResNet-style skip connections on hidden layers whose input
+    /// and output widths match (paper §VIII-A extension).
+    #[must_use]
+    pub fn with_residual(mut self, yes: bool) -> Self {
+        self.residual = yes;
+        self
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Output head.
+    pub fn head(&self) -> OutputHead {
+        self.head
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Tensor2::len).sum::<usize>()
+            + self.biases.iter().map(Tensor2::len).sum::<usize>()
+    }
+
+    /// Mutable references to all parameters interleaved as
+    /// `[W0, b0, W1, b1, …]`, matching the gradient order returned by the
+    /// loss functions — hand both to [`crate::Sgd::step`].
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor2> {
+        let mut out = Vec::with_capacity(self.weights.len() * 2);
+        for (w, b) in self.weights.iter_mut().zip(self.biases.iter_mut()) {
+            out.push(w);
+            out.push(b);
+        }
+        out
+    }
+
+    fn layer_has_residual(&self, i: usize) -> bool {
+        self.residual
+            && i + 1 < self.weights.len() // hidden layers only
+            && self.weights[i].rows() == self.weights[i].cols()
+    }
+
+    /// Forward pass returning raw logits (`batch × out`).
+    pub fn forward(&self, x: &Tensor2) -> Tensor2 {
+        let (_, _, logits) = self.forward_cached(x);
+        logits
+    }
+
+    /// Forward pass keeping per-layer pre-activations `z` and activations
+    /// `a` for backprop. Returns `(zs, activations, logits)` where
+    /// `activations[0]` is the input.
+    fn forward_cached(&self, x: &Tensor2) -> (Vec<Tensor2>, Vec<Tensor2>, Tensor2) {
+        let l = self.weights.len();
+        let mut zs = Vec::with_capacity(l);
+        let mut acts: Vec<Tensor2> = Vec::with_capacity(l + 1);
+        acts.push(x.clone());
+        for i in 0..l {
+            let mut z = matmul(&acts[i], &self.weights[i]);
+            z.add_bias_row(self.biases[i].as_slice());
+            let is_last = i + 1 == l;
+            if is_last {
+                let logits = z.clone();
+                zs.push(z);
+                return (zs, acts, logits);
+            }
+            let mut a = z.clone();
+            for v in a.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            if self.layer_has_residual(i) {
+                let prev = acts[i].clone();
+                a.axpy(1.0, &prev);
+            }
+            zs.push(z);
+            acts.push(a);
+        }
+        unreachable!("loop returns at the last layer")
+    }
+
+    /// Mean binary cross-entropy loss and parameter gradients for targets
+    /// `y ∈ {0, 1}` (paper Eq. 4). Gradients are ordered like
+    /// [`params_mut`](Self::params_mut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`OutputHead::Binary`] or
+    /// `y.len() != x.rows()`.
+    pub fn loss_and_grads_binary(&self, x: &Tensor2, y: &[f32]) -> (f32, Vec<Tensor2>) {
+        assert_eq!(self.head, OutputHead::Binary, "binary loss on non-binary head");
+        assert_eq!(y.len(), x.rows(), "target count mismatch");
+        let (zs, acts, logits) = self.forward_cached(x);
+        let batch = x.rows() as f32;
+
+        // Numerically stable BCE-with-logits:
+        // loss = max(z, 0) - z*y + ln(1 + exp(-|z|)); dL/dz = sigmoid(z) - y.
+        let mut loss = 0.0f32;
+        let mut delta = Tensor2::zeros(x.rows(), 1);
+        for r in 0..x.rows() {
+            let z = logits.get(r, 0);
+            let t = y[r];
+            loss += z.max(0.0) - z * t + (-z.abs()).exp().ln_1p();
+            let p = sigmoid(z);
+            delta.set(r, 0, (p - t) / batch);
+        }
+        loss /= batch;
+        (loss, self.backward(&zs, &acts, delta))
+    }
+
+    /// Mean negative log-likelihood loss and gradients for integer class
+    /// labels (paper's node classification loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`OutputHead::MultiClass`], a label is out
+    /// of range, or `labels.len() != x.rows()`.
+    pub fn loss_and_grads_multiclass(&self, x: &Tensor2, labels: &[usize]) -> (f32, Vec<Tensor2>) {
+        assert_eq!(self.head, OutputHead::MultiClass, "multiclass loss on wrong head");
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let (zs, acts, logits) = self.forward_cached(x);
+        let classes = logits.cols();
+        let batch = x.rows() as f32;
+
+        let mut loss = 0.0f32;
+        let mut delta = Tensor2::zeros(x.rows(), classes);
+        for r in 0..x.rows() {
+            let row = logits.row(r);
+            let label = labels[r];
+            assert!(label < classes, "label {label} out of range for {classes} classes");
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            loss += lse - row[label];
+            for c in 0..classes {
+                let softmax = (row[c] - lse).exp();
+                let onehot = if c == label { 1.0 } else { 0.0 };
+                delta.set(r, c, (softmax - onehot) / batch);
+            }
+        }
+        loss /= batch;
+        (loss, self.backward(&zs, &acts, delta))
+    }
+
+    /// Backpropagates `delta = dL/d(logits)` through the cached forward
+    /// pass, returning gradients ordered `[gW0, gb0, gW1, gb1, …]`.
+    fn backward(&self, zs: &[Tensor2], acts: &[Tensor2], delta_out: Tensor2) -> Vec<Tensor2> {
+        let l = self.weights.len();
+        let mut grads = vec![Tensor2::zeros(0, 0); l * 2];
+        let mut grad_a = delta_out; // dL/dz at the output layer already.
+
+        for i in (0..l).rev() {
+            let is_last = i + 1 == l;
+            let delta = if is_last {
+                grad_a.clone()
+            } else {
+                // ReLU mask from the stored pre-activation.
+                let mut d = grad_a.clone();
+                for (v, &z) in d.as_mut_slice().iter_mut().zip(zs[i].as_slice()) {
+                    if z <= 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                d
+            };
+
+            // gW = aᵀ · delta; gb = column sums of delta.
+            let at = acts[i].transposed();
+            grads[2 * i] = matmul(&at, &delta);
+            let mut gb = Tensor2::zeros(1, delta.cols());
+            for r in 0..delta.rows() {
+                for c in 0..delta.cols() {
+                    gb.set(0, c, gb.get(0, c) + delta.get(r, c));
+                }
+            }
+            grads[2 * i + 1] = gb;
+
+            if i > 0 {
+                // grad wrt previous activation: delta · Wᵀ (+ identity path
+                // when this layer had a residual connection). W is in×out,
+                // so matmul_transb(delta, W) = delta · Wᵀ.
+                let mut prev = matmul_transb(&delta, &self.weights[i]);
+                if self.layer_has_residual(i) {
+                    prev.axpy(1.0, &grad_a);
+                }
+                grad_a = prev;
+            }
+        }
+        grads
+    }
+
+    /// Predicted positive-class probabilities for a binary head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`OutputHead::Binary`].
+    pub fn predict_proba(&self, x: &Tensor2) -> Vec<f32> {
+        assert_eq!(self.head, OutputHead::Binary, "predict_proba needs binary head");
+        let logits = self.forward(x);
+        (0..x.rows()).map(|r| sigmoid(logits.get(r, 0))).collect()
+    }
+
+    /// Predicted class index per row for a multi-class head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`OutputHead::MultiClass`].
+    pub fn predict_class(&self, x: &Tensor2) -> Vec<usize> {
+        assert_eq!(self.head, OutputHead::MultiClass, "predict_class needs multiclass head");
+        let logits = self.forward(x);
+        (0..x.rows())
+            .map(|r| {
+                logits
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+
+    /// Central-difference gradient check for every parameter of a tiny net.
+    fn grad_check(head: OutputHead, residual: bool) {
+        let dims: &[usize] = match head {
+            OutputHead::Binary => &[3, 4, 4, 1],
+            OutputHead::MultiClass => &[3, 4, 4, 3],
+        };
+        let mut mlp = Mlp::new(dims, head, 9).with_residual(residual);
+        let x = Tensor2::from_rows(&[&[0.5, -0.2, 0.8], &[-0.7, 0.1, 0.3]]);
+        let yb = vec![1.0f32, 0.0];
+        let ym = vec![2usize, 0];
+
+        let loss_fn = |mlp: &Mlp| -> f32 {
+            match head {
+                OutputHead::Binary => mlp.loss_and_grads_binary(&x, &yb).0,
+                OutputHead::MultiClass => mlp.loss_and_grads_multiclass(&x, &ym).0,
+            }
+        };
+        let grads = match head {
+            OutputHead::Binary => mlp.loss_and_grads_binary(&x, &yb).1,
+            OutputHead::MultiClass => mlp.loss_and_grads_multiclass(&x, &ym).1,
+        };
+
+        let eps = 1e-3f32;
+        let num_layers = mlp.num_layers();
+        for layer in 0..num_layers {
+            for pi in 0..2 {
+                let g = grads[2 * layer + pi].clone();
+                for idx in 0..g.len() {
+                    let orig = {
+                        let mut params = mlp.params_mut();
+                        let p = &mut params[2 * layer + pi];
+                        let orig = p.as_slice()[idx];
+                        p.as_mut_slice()[idx] = orig + eps;
+                        orig
+                    };
+                    let up = loss_fn(&mlp);
+                    {
+                        let mut params = mlp.params_mut();
+                        params[2 * layer + pi].as_mut_slice()[idx] = orig - eps;
+                    }
+                    let down = loss_fn(&mlp);
+                    {
+                        let mut params = mlp.params_mut();
+                        params[2 * layer + pi].as_mut_slice()[idx] = orig;
+                    }
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = g.as_slice()[idx];
+                    assert!(
+                        (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+                        "layer {layer} param {pi} idx {idx}: numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_binary() {
+        grad_check(OutputHead::Binary, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_multiclass() {
+        grad_check(OutputHead::MultiClass, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_residual() {
+        grad_check(OutputHead::Binary, true);
+        grad_check(OutputHead::MultiClass, true);
+    }
+
+    #[test]
+    fn multiclass_learns_separable_classes() {
+        // Three well-separated clusters in 2-D.
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [(0usize, (0.0, 0.0)), (1, (4.0, 0.0)), (2, (0.0, 4.0))] {
+            for k in 0..20 {
+                let jitter = (k as f32) * 0.01;
+                rows.push(vec![center.0 + jitter, center.1 - jitter]);
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Tensor2::from_rows(&refs);
+        let mut mlp = Mlp::new(&[2, 16, 16, 3], OutputHead::MultiClass, 3);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..300 {
+            let (_l, g) = mlp.loss_and_grads_multiclass(&x, &labels);
+            opt.step(mlp.params_mut(), &g);
+        }
+        let pred = mlp.predict_class(&x);
+        let correct = pred.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        assert!(correct >= 58, "only {correct}/60 correct");
+    }
+
+    #[test]
+    fn loss_decreases_under_training() {
+        let x = Tensor2::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.0, 0.0]]);
+        let y = vec![1.0f32, 1.0, 0.0, 0.0];
+        let mut mlp = Mlp::new(&[2, 8, 1], OutputHead::Binary, 1);
+        let mut opt = Sgd::new(0.3);
+        let (first, g) = mlp.loss_and_grads_binary(&x, &y);
+        opt.step(mlp.params_mut(), &g);
+        let mut last = first;
+        for _ in 0..200 {
+            let (l, g) = mlp.loss_and_grads_binary(&x, &y);
+            opt.step(mlp.params_mut(), &g);
+            last = l;
+        }
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
+    }
+
+    #[test]
+    fn param_count_matches_dims() {
+        let mlp = Mlp::new(&[4, 8, 2], OutputHead::MultiClass, 0);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary head needs one output")]
+    fn binary_head_with_wide_output_panics() {
+        let _ = Mlp::new(&[4, 8, 2], OutputHead::Binary, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        let mlp = Mlp::new(&[2, 4, 3], OutputHead::MultiClass, 0);
+        let x = Tensor2::zeros(1, 2);
+        let _ = mlp.loss_and_grads_multiclass(&x, &[5]);
+    }
+}

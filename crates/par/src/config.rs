@@ -1,0 +1,62 @@
+//! Parallel execution configuration.
+
+/// Configuration for dynamically scheduled parallel loops.
+///
+/// Mirrors the knobs the paper exposes for its CPU kernels: the number of
+/// OpenMP threads and the dynamic-scheduling chunk size.
+///
+/// # Examples
+///
+/// ```
+/// use par::ParConfig;
+///
+/// let cfg = ParConfig::with_threads(8).chunk_size(64);
+/// assert_eq!(cfg.threads(), 8);
+/// assert_eq!(cfg.chunk(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParConfig {
+    threads: usize,
+    chunk: usize,
+}
+
+impl ParConfig {
+    /// Creates a configuration using all available hardware parallelism and
+    /// a default chunk size of 256 items.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { threads, chunk: 256 }
+    }
+
+    /// Creates a configuration with an explicit thread count.
+    ///
+    /// A thread count of zero is clamped to one.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), chunk: 256 }
+    }
+
+    /// Sets the dynamic-scheduling chunk size (clamped to at least 1).
+    #[must_use]
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Number of worker threads used by parallel loops.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Items handed to a worker per scheduling decision.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,141 @@
+//! Dynamically scheduled parallel loops over index ranges and slices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ParConfig;
+
+/// Runs `body(start..end)` over disjoint chunks of `0..len` on the
+/// configured number of threads, handing out chunks dynamically.
+///
+/// This is the direct analog of `#pragma omp parallel for schedule(dynamic)`
+/// used by the paper's random-walk kernel: an atomic cursor acts as the
+/// shared work queue and idle threads grab ("steal") the next chunk.
+///
+/// The chunk bounds passed to `body` partition `0..len` exactly; `body` may
+/// run concurrently on different chunks.
+pub fn parallel_chunks<F>(cfg: &ParConfig, len: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = cfg.threads().min(len.div_ceil(cfg.chunk())).max(1);
+    if threads == 1 {
+        let mut start = 0;
+        while start < len {
+            let end = (start + cfg.chunk()).min(len);
+            body(start, end);
+            start = end;
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let chunk = cfg.chunk();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                body(start, end);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Runs `body(i)` for every `i` in `0..len` using dynamic scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use par::{parallel_for_index, ParConfig};
+///
+/// let sum = AtomicU64::new(0);
+/// parallel_for_index(&ParConfig::default(), 100, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 4950);
+/// ```
+pub fn parallel_for_index<F>(cfg: &ParConfig, len: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_chunks(cfg, len, |start, end| {
+        for i in start..end {
+            body(i);
+        }
+    });
+}
+
+/// Runs `body(i, &mut out[i])` for every element of `out` in parallel.
+///
+/// Each invocation receives exclusive access to its own slot, so `body`
+/// needs no synchronization to write results.
+pub fn parallel_for<T, F>(cfg: &ParConfig, out: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = out.len();
+    let base = out.as_mut_ptr() as usize;
+    parallel_chunks(cfg, len, |start, end| {
+        // SAFETY: chunks returned by `parallel_chunks` are disjoint
+        // subranges of 0..len, so each slot is mutated by exactly one
+        // worker; the slice outlives the scoped threads.
+        let ptr = base as *mut T;
+        for i in start..end {
+            let slot = unsafe { &mut *ptr.add(i) };
+            body(i, slot);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunks_partition_range_exactly() {
+        let seen = AtomicUsize::new(0);
+        parallel_chunks(&ParConfig::with_threads(7).chunk_size(13), 1000, |s, e| {
+            assert!(s < e && e <= 1000);
+            seen.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(seen.into_inner(), 1000);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        parallel_chunks(&ParConfig::default(), 0, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn chunk_larger_than_len() {
+        let seen = AtomicUsize::new(0);
+        parallel_chunks(&ParConfig::with_threads(4).chunk_size(10_000), 37, |s, e| {
+            seen.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(seen.into_inner(), 37);
+    }
+
+    #[test]
+    fn skewed_work_is_balanced() {
+        // Emulate the walk kernel's skew: item i does O(i) work.
+        let mut out = vec![0u64; 2048];
+        parallel_for(&ParConfig::with_threads(8).chunk_size(8), &mut out, |i, slot| {
+            let mut acc = 0u64;
+            for k in 0..i {
+                acc = acc.wrapping_add(k as u64);
+            }
+            *slot = acc;
+        });
+        assert_eq!(out[3], 3);
+        assert_eq!(out[100], (0..100).sum::<u64>());
+    }
+}

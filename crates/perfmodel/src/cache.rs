@@ -1,0 +1,277 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Fed with the address streams of the instrumented kernel replicas
+//! (see [`crate::profile`]), this stands in for the hardware cache
+//! counters behind the paper's Fig. 3 L2-hit-rate comparison.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64 B-line L1 (typical for both the paper's EPYC
+    /// and Ampere SM L1).
+    pub fn l1_default() -> Self {
+        Self { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64 }
+    }
+
+    /// A 1 MiB, 16-way, 64 B-line L2 slice.
+    pub fn l2_default() -> Self {
+        Self { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64 }
+    }
+}
+
+/// One level of set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    cfg: CacheConfig,
+    sets: usize,
+    // tags[set * assoc + way]; u64::MAX = invalid. LRU order tracked by
+    // per-line logical timestamps.
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    hits: u64,
+}
+
+impl CacheSim {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, line not a
+    /// power of two, or capacity not divisible by `assoc × line`).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 4, "bad line size");
+        assert!(cfg.assoc >= 1, "associativity must be positive");
+        let set_bytes = cfg.assoc * cfg.line_bytes;
+        assert!(
+            cfg.size_bytes >= set_bytes && cfg.size_bytes.is_multiple_of(set_bytes),
+            "capacity must be a multiple of assoc × line"
+        );
+        let sets = cfg.size_bytes / set_bytes;
+        Self {
+            cfg,
+            sets,
+            tags: vec![u64::MAX; sets * cfg.assoc],
+            stamps: vec![0; sets * cfg.assoc],
+            clock: 0,
+            accesses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Simulates one access; returns `true` on hit. Misses install the
+    /// line, evicting the set's LRU way.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.tags[base..base + self.cfg.assoc];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        // Evict LRU way.
+        let lru = (0..self.cfg.assoc)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("assoc >= 1");
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.clock;
+        false
+    }
+
+    /// Accesses performed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit rate in `[0, 1]` (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A two-level (L1 → L2) hierarchy; L2 sees only L1 misses.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// First level.
+    pub l1: CacheSim,
+    /// Second level.
+    pub l2: CacheSim,
+    // Recent stream heads (a hardware prefetcher tracks several
+    // independent sequential streams), at cache-line granularity;
+    // round-robin replacement.
+    streams: [u64; 8],
+    next_stream: usize,
+    irregular: u64,
+    transitions: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from two configs.
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        Self {
+            l1: CacheSim::new(l1),
+            l2: CacheSim::new(l2),
+            streams: [u64::MAX - 1024; 8],
+            next_stream: 0,
+            irregular: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Simulates one access through the hierarchy.
+    ///
+    /// Also tracks *irregularity* at cache-line-burst granularity — a
+    /// proxy for the paper's replayed-to-issued-instruction metric
+    /// (non-coalescable access streams replay on GPUs). Accesses that stay
+    /// within a recently touched line cost nothing; moving to a *new* line
+    /// is a transition, regular if the line is within ±4 lines of one of
+    /// eight tracked stream heads (so interleaved sequential streams like
+    /// a GEMM's A/B/C operands register as regular) and irregular
+    /// otherwise. `irregularity()` is the irregular share of transitions.
+    pub fn access(&mut self, addr: u64) {
+        let line = addr / 64;
+        if !self.streams.contains(&line) {
+            self.transitions += 1;
+            match self.streams.iter().position(|&s| line.abs_diff(s) <= 4) {
+                Some(i) => self.streams[i] = line,
+                None => {
+                    self.irregular += 1;
+                    self.streams[self.next_stream] = line;
+                    self.next_stream = (self.next_stream + 1) % self.streams.len();
+                }
+            }
+        }
+        if !self.l1.access(addr) {
+            self.l2.access(addr);
+        }
+    }
+
+    /// Fraction of line transitions classified irregular (landed > 4 lines
+    /// from every active stream head).
+    pub fn irregularity(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.irregular as f64 / self.transitions as f64
+        }
+    }
+
+    /// L2 hit rate over the accesses that reached it; `0.0` when L2 was
+    /// never touched (perfect L1).
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::new(CacheConfig::l1_default(), CacheConfig::l2_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let mut c = CacheSim::new(CacheConfig::l1_default());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1008)); // same line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.accesses(), 3);
+    }
+
+    #[test]
+    fn sequential_scan_has_high_hit_rate() {
+        let mut c = CacheSim::new(CacheConfig::l1_default());
+        for i in 0..10_000u64 {
+            c.access(i * 4);
+        }
+        // One miss per 16 4-byte words in a 64-byte line.
+        assert!(c.hit_rate() > 0.9, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn random_large_footprint_thrashes() {
+        let mut c = CacheSim::new(CacheConfig::l1_default());
+        let mut x = 12345u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access(x % (64 * 1024 * 1024));
+        }
+        assert!(c.hit_rate() < 0.05, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct-mapped single-set cache of 2 ways: A, B, then C evicts A.
+        let cfg = CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 64 };
+        let mut c = CacheSim::new(cfg);
+        assert!(!c.access(0)); // A
+        assert!(!c.access(128)); // B (same set)
+        assert!(!c.access(256)); // C evicts A
+        assert!(c.access(128)); // B still resident
+        assert!(!c.access(0)); // A was evicted
+    }
+
+    #[test]
+    fn hierarchy_l2_catches_l1_misses() {
+        let mut h = CacheHierarchy::default();
+        // Working set bigger than L1 (32 KiB) but within L2 (1 MiB).
+        let footprint = 256 * 1024u64;
+        for _round in 0..4 {
+            for a in (0..footprint).step_by(64) {
+                h.access(a);
+            }
+        }
+        assert!(h.l1.hit_rate() < 0.2, "L1 {}", h.l1.hit_rate());
+        assert!(h.l2_hit_rate() > 0.5, "L2 {}", h.l2_hit_rate());
+    }
+
+    #[test]
+    fn irregularity_separates_streams() {
+        let mut seq = CacheHierarchy::default();
+        for i in 0..10_000u64 {
+            seq.access(i * 8);
+        }
+        let mut rnd = CacheHierarchy::default();
+        let mut x = 99u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            rnd.access(x % (1 << 30));
+        }
+        assert!(seq.irregularity() < 0.01);
+        assert!(rnd.irregularity() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be a multiple")]
+    fn bad_geometry_panics() {
+        let _ = CacheSim::new(CacheConfig { size_bytes: 100, assoc: 2, line_bytes: 64 });
+    }
+}

@@ -1,0 +1,152 @@
+//! Analytic CPU execution model.
+//!
+//! The paper's CPU results are measured on a 128-core EPYC server this
+//! environment does not have. This model turns an instrumented profile
+//! into an estimated CPU time for a configurable core count, letting the
+//! Table III CPU columns be *extrapolated* to server scale next to the
+//! locally measured values. The model is a classic back-of-envelope:
+//!
+//! `cycles ≈ ops / IPC + loads × (miss path)`
+//!
+//! with the miss path priced from the simulated L1/L2 hit rates, and
+//! multi-core scaling discounted by the measured load imbalance (work
+//! stealing bounds the straggler penalty by the largest chunk).
+
+use crate::KernelProfile;
+
+/// Parameters of the modeled CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Sustained instructions per cycle for cache-resident work.
+    pub base_ipc: f64,
+    /// L2 hit latency in cycles (L1 miss, L2 hit).
+    pub l2_latency_cycles: f64,
+    /// Memory latency in cycles (L1 and L2 miss).
+    pub mem_latency_cycles: f64,
+    /// Fraction of a miss's latency actually exposed (out-of-order
+    /// execution and prefetching hide the rest).
+    pub miss_exposure: f64,
+    /// Cores available.
+    pub cores: usize,
+}
+
+impl CpuModel {
+    /// EPYC-7742-like parameters (the paper's evaluation CPU): 2.25 GHz
+    /// base, 64 cores per socket (the paper used two).
+    pub fn epyc_like() -> Self {
+        Self {
+            freq_ghz: 2.25,
+            base_ipc: 2.0,
+            l2_latency_cycles: 14.0,
+            mem_latency_cycles: 220.0,
+            miss_exposure: 0.35,
+            cores: 128,
+        }
+    }
+
+    /// A single-core laptop-class configuration for sanity checks against
+    /// locally measured times.
+    pub fn single_core() -> Self {
+        Self { cores: 1, freq_ghz: 3.0, ..Self::epyc_like() }
+    }
+
+    /// Estimates execution seconds for a profiled kernel scaled to its
+    /// full size, run across `threads` (capped at the model's cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn estimate_secs(&self, profile: &KernelProfile, threads: usize) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let scale = profile.work_scale();
+        let ops = profile.ops.total() as f64 * scale;
+        let loads = profile.ops.loads as f64 * scale;
+
+        let l1_miss = 1.0 - profile.l1_hit_rate;
+        let l2_hit_given_miss = profile.l2_hit_rate;
+        let miss_cycles = loads
+            * l1_miss
+            * (l2_hit_given_miss * self.l2_latency_cycles
+                + (1.0 - l2_hit_given_miss) * self.mem_latency_cycles)
+            * self.miss_exposure;
+        let cycles = ops / self.base_ipc + miss_cycles;
+
+        // Work stealing keeps the straggler penalty bounded by per-chunk
+        // skew; model parallel efficiency as 1/imbalance.
+        let eff_threads =
+            (threads.min(self.cores) as f64 / profile.load_imbalance.max(1.0)).max(1.0);
+        cycles / (self.freq_ghz * 1e9) / eff_threads
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::epyc_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_walk, ProfileOptions};
+    use twalk::{TransitionSampler, WalkConfig};
+
+    fn walk_profile() -> KernelProfile {
+        let g = tgraph::gen::preferential_attachment(2_000, 3, 1)
+            .undirected(true)
+            .build();
+        profile_walk(
+            &g,
+            &WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(1),
+            &ProfileOptions::default(),
+        )
+    }
+
+    #[test]
+    fn more_threads_is_faster_until_core_cap() {
+        let cpu = CpuModel::epyc_like();
+        let p = walk_profile();
+        let t1 = cpu.estimate_secs(&p, 1);
+        let t64 = cpu.estimate_secs(&p, 64);
+        let t128 = cpu.estimate_secs(&p, 128);
+        let t512 = cpu.estimate_secs(&p, 512);
+        assert!(t64 < t1 / 8.0);
+        assert!(t128 <= t64);
+        assert!((t512 - t128).abs() < 1e-12, "beyond cores must not help");
+    }
+
+    #[test]
+    fn estimate_is_in_a_plausible_range() {
+        // The 2k-node walk kernel runs in milliseconds on real hardware;
+        // the model must land within a couple orders of magnitude.
+        let cpu = CpuModel::single_core();
+        let p = walk_profile();
+        let secs = cpu.estimate_secs(&p, 1);
+        assert!(
+            (1e-5..1.0).contains(&secs),
+            "single-core estimate {secs}s out of plausible range"
+        );
+    }
+
+    #[test]
+    fn worse_cache_behavior_costs_time() {
+        let cpu = CpuModel::epyc_like();
+        let mut good = walk_profile();
+        good.l1_hit_rate = 0.99;
+        good.l2_hit_rate = 0.9;
+        let mut bad = good.clone();
+        bad.l1_hit_rate = 0.5;
+        bad.l2_hit_rate = 0.1;
+        assert!(cpu.estimate_secs(&bad, 8) > 1.5 * cpu.estimate_secs(&good, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let cpu = CpuModel::default();
+        let p = walk_profile();
+        let _ = cpu.estimate_secs(&p, 0);
+    }
+}

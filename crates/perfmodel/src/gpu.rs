@@ -1,0 +1,248 @@
+//! Analytic GPU execution model (Ampere-class).
+//!
+//! Substitutes for the paper's physical NVIDIA Ampere GPU. The model is a
+//! roofline with three additions the paper's analysis hinges on:
+//!
+//! 1. **Kernel launch overhead** — the unbatched GPU word2vec launches one
+//!    kernel per (short) sentence, which Fig. 5 shows batching amortizes;
+//! 2. **Occupancy** — kernels exposing little parallelism (tiny classifier
+//!    GEMMs, single sentences) cannot fill the SMs (§VII-B reports < 10% SM
+//!    utilization for training/testing);
+//! 3. **Divergence penalty** — irregular access/branch streams replay
+//!    instructions (the paper's irregularity metric), scaling execution
+//!    time.
+//!
+//! Every constant is an estimate of a published Ampere (A100-class) figure
+//! and is documented below; outputs are meaningful in *shape* (crossovers,
+//! saturation points), not as absolute microseconds.
+
+use crate::{KernelProfile, OpCounts};
+
+/// Hardware parameters of the modeled GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Streaming multiprocessor count (A100: 108).
+    pub sm_count: f64,
+    /// Maximum resident threads (A100: 2048 per SM).
+    pub max_threads: f64,
+    /// Peak fp32 throughput in flops per microsecond (A100: ≈19.5 TFLOP/s).
+    pub flops_per_us: f64,
+    /// Peak integer/branch throughput in ops per microsecond.
+    pub int_ops_per_us: f64,
+    /// HBM bandwidth in bytes per microsecond (A100: ≈1555 GB/s).
+    pub mem_bw_bytes_per_us: f64,
+    /// Fixed cost of one kernel launch in microseconds (driver + HW queue;
+    /// ≈5 µs is a standard figure).
+    pub kernel_launch_us: f64,
+    /// Effective PCIe host↔device bandwidth in bytes per microsecond
+    /// (PCIe 4.0 x16 ≈ 16 GB/s sustained).
+    pub pcie_bytes_per_us: f64,
+}
+
+impl GpuModel {
+    /// Ampere (A100-class) parameters.
+    pub fn ampere() -> Self {
+        Self {
+            sm_count: 108.0,
+            max_threads: 108.0 * 2048.0,
+            flops_per_us: 19.5e6,
+            int_ops_per_us: 9.7e6,
+            mem_bw_bytes_per_us: 1.555e6,
+            kernel_launch_us: 5.0,
+            pcie_bytes_per_us: 16_000.0,
+        }
+    }
+
+    /// Estimates one kernel's GPU execution from its measured operation
+    /// counts and shape.
+    ///
+    /// * `ops`/`irregularity` — from an instrumented profile (possibly
+    ///   traced on a budget; scale totals with `work_scale ≥ 1`);
+    /// * `parallelism` — threads of work the kernel exposes per launch;
+    /// * `launches` — number of kernel launches;
+    /// * `transfer_bytes` — host↔device bytes moved once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_scale` or `parallelism` is not positive.
+    pub fn estimate(
+        &self,
+        ops: &OpCounts,
+        irregularity: f64,
+        work_scale: f64,
+        parallelism: f64,
+        launches: f64,
+        transfer_bytes: f64,
+    ) -> GpuEstimate {
+        assert!(work_scale > 0.0, "work_scale must be positive");
+        assert!(parallelism > 0.0, "parallelism must be positive");
+        // A single warp (32 threads) is the minimum latency-hiding unit.
+        let occupancy = (parallelism / self.max_threads).clamp(32.0 / self.max_threads, 1.0);
+        // Divergent warps replay instructions: up to 3× at full
+        // irregularity (ratio range observed in the paper's Fig. 3).
+        let divergence_factor = 1.0 + 2.0 * irregularity.clamp(0.0, 1.0);
+
+        let fp = ops.fp_ops as f64 * work_scale;
+        let intb = (ops.int_ops + ops.branches + ops.other) as f64 * work_scale;
+        let bytes = ops.approx_bytes() as f64 * work_scale;
+
+        let compute_us =
+            (fp / self.flops_per_us + intb / self.int_ops_per_us) / occupancy * divergence_factor;
+        // Bandwidth also needs parallelism to be saturated; irregular
+        // (non-coalesced) streams waste most of each 32-byte sector.
+        let mem_eff = occupancy.sqrt() * (1.0 - 0.7 * irregularity.clamp(0.0, 1.0));
+        let memory_us = bytes / (self.mem_bw_bytes_per_us * mem_eff.max(1e-3));
+
+        GpuEstimate {
+            compute_us,
+            memory_us,
+            launch_us: launches * self.kernel_launch_us,
+            transfer_us: transfer_bytes / self.pcie_bytes_per_us,
+            occupancy,
+            divergence_factor,
+            mem_efficiency: mem_eff.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Convenience wrapper taking a [`KernelProfile`] directly.
+    pub fn estimate_profile(
+        &self,
+        profile: &KernelProfile,
+        work_scale: f64,
+        parallelism: f64,
+        launches: f64,
+        transfer_bytes: f64,
+    ) -> GpuEstimate {
+        self.estimate(
+            &profile.ops,
+            profile.irregularity,
+            work_scale,
+            parallelism,
+            launches,
+            transfer_bytes,
+        )
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::ampere()
+    }
+}
+
+/// Decomposed GPU time estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuEstimate {
+    /// Arithmetic pipeline time (µs), divergence included.
+    pub compute_us: f64,
+    /// Memory system time (µs).
+    pub memory_us: f64,
+    /// Total kernel-launch overhead (µs).
+    pub launch_us: f64,
+    /// Host↔device transfer time (µs).
+    pub transfer_us: f64,
+    /// Modeled occupancy in `(0, 1]` — the paper's SM-utilization analog.
+    pub occupancy: f64,
+    /// Instruction replay multiplier applied to compute.
+    pub divergence_factor: f64,
+    /// Fraction of peak DRAM bandwidth the access pattern can sustain
+    /// (occupancy and coalescing losses).
+    pub mem_efficiency: f64,
+}
+
+impl GpuEstimate {
+    /// End-to-end kernel time: transfers and launches serialize with the
+    /// overlapped compute/memory phases.
+    pub fn total_us(&self) -> f64 {
+        self.transfer_us + self.launch_us + self.compute_us.max(self.memory_us)
+    }
+
+    /// Total in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_us() / 1e6
+    }
+
+    /// Sustained fraction of peak DRAM bandwidth (the Fig. 3 DRAM
+    /// utilization analog): the share of device time spent on memory,
+    /// discounted by how much of the peak the access pattern can use.
+    pub fn dram_utilization(&self) -> f64 {
+        let exec = self.compute_us.max(self.memory_us);
+        if exec <= 0.0 {
+            0.0
+        } else {
+            (self.memory_us / exec).min(1.0) * self.mem_efficiency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_ops(n: u64) -> OpCounts {
+        OpCounts { loads: n, stores: n / 4, branches: n / 8, int_ops: n / 2, fp_ops: n, other: n / 8 }
+    }
+
+    #[test]
+    fn launch_overhead_dominates_many_tiny_kernels() {
+        let gpu = GpuModel::ampere();
+        let ops = flat_ops(10_000);
+        // 100k launches of tiny kernels vs 10 launches of the same work.
+        let many = gpu.estimate(&ops, 0.2, 1.0, 256.0, 100_000.0, 0.0);
+        let few = gpu.estimate(&ops, 0.2, 1.0, 100_000.0 * 256.0, 10.0, 0.0);
+        assert!(many.total_us() > 50.0 * few.total_us());
+    }
+
+    #[test]
+    fn higher_parallelism_never_hurts() {
+        let gpu = GpuModel::ampere();
+        let ops = flat_ops(1_000_000);
+        let lo = gpu.estimate(&ops, 0.3, 1.0, 1_000.0, 1.0, 0.0);
+        let hi = gpu.estimate(&ops, 0.3, 1.0, 1_000_000.0, 1.0, 0.0);
+        assert!(hi.total_us() < lo.total_us());
+        assert!(hi.occupancy > lo.occupancy);
+    }
+
+    #[test]
+    fn irregularity_penalizes_execution() {
+        let gpu = GpuModel::ampere();
+        let ops = flat_ops(1_000_000);
+        let regular = gpu.estimate(&ops, 0.0, 1.0, 100_000.0, 1.0, 0.0);
+        let irregular = gpu.estimate(&ops, 0.9, 1.0, 100_000.0, 1.0, 0.0);
+        assert!(irregular.total_us() > 1.5 * regular.total_us());
+        assert!(irregular.divergence_factor > regular.divergence_factor);
+    }
+
+    #[test]
+    fn transfer_amortizes_with_work_scale() {
+        let gpu = GpuModel::ampere();
+        let ops = flat_ops(1_000);
+        let small = gpu.estimate(&ops, 0.2, 1.0, 10_000.0, 1.0, 1e6);
+        let big = gpu.estimate(&ops, 0.2, 1_000.0, 10_000.0, 1.0, 1e6);
+        let small_frac = small.transfer_us / small.total_us();
+        let big_frac = big.transfer_us / big.total_us();
+        assert!(small_frac > big_frac);
+    }
+
+    #[test]
+    fn total_combines_components() {
+        let e = GpuEstimate {
+            compute_us: 10.0,
+            memory_us: 4.0,
+            launch_us: 2.0,
+            transfer_us: 3.0,
+            occupancy: 0.5,
+            divergence_factor: 1.0,
+            mem_efficiency: 0.5,
+        };
+        assert!((e.total_us() - 15.0).abs() < 1e-12);
+        assert!((e.dram_utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be positive")]
+    fn zero_parallelism_panics() {
+        let gpu = GpuModel::ampere();
+        let _ = gpu.estimate(&OpCounts::default(), 0.0, 1.0, 0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hardware characterization substrate.
+//!
+//! The paper profiles its pipeline with the MICA Pintool (CPU dynamic
+//! instruction mix, Fig. 9), hardware counters, and NVIDIA Nsight Compute
+//! (GPU utilization, stall attribution — Figs. 3, 11, and the GPU columns
+//! of Table III). None of those tools exist in this environment, so this
+//! crate substitutes *models with measured inputs*:
+//!
+//! * [`ops`] — abstract operation accounting. Instrumented replicas of
+//!   every kernel (in [`profile`]) re-execute the real algorithms while
+//!   counting loads/stores/branches/integer/floating-point operations,
+//!   reproducing the instruction-mix *ratios* of Fig. 9.
+//! * [`cache`] — a set-associative LRU cache hierarchy simulator fed by
+//!   the replicas' actual address streams, standing in for measured cache
+//!   hit rates (Fig. 3).
+//! * [`gpu`] — an analytic SIMT execution model (occupancy, roofline,
+//!   kernel-launch and PCIe transfer costs, divergence penalties)
+//!   calibrated to an Ampere-class part. It produces the GPU columns of
+//!   Table III and the batching-speedup curve of Fig. 5. Absolute times
+//!   are estimates; the *shape* (who wins where, saturation points) is the
+//!   reproduction target.
+//! * [`stalls`] — a feature-driven stall-attribution model reproducing the
+//!   Fig. 11 breakdown from measured kernel features (irregularity,
+//!   fp-intensity, occupancy).
+//!
+//! Every constant that was calibrated rather than measured is documented
+//! at its definition.
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod ops;
+pub mod profile;
+pub mod stalls;
+
+pub use cache::{CacheConfig, CacheHierarchy, CacheSim};
+pub use cpu::CpuModel;
+pub use gpu::{GpuEstimate, GpuModel};
+pub use ops::{OpCounts, OpMix};
+pub use profile::{KernelProfile, ProfileOptions};
+pub use stalls::{KernelClass, StallBreakdown, StallCategory};

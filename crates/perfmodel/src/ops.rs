@@ -1,0 +1,120 @@
+//! Abstract operation accounting (the MICA-Pintool substitute).
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic operation counts of one kernel execution.
+///
+/// Categories follow the paper's Fig. 9 legend: memory (loads + stores),
+/// branch, compute (integer + floating point), and others.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Memory read operations.
+    pub loads: u64,
+    /// Memory write operations.
+    pub stores: u64,
+    /// Conditional and unconditional branches.
+    pub branches: u64,
+    /// Integer arithmetic (address math, RNG, comparisons folded in).
+    pub int_ops: u64,
+    /// Floating-point arithmetic (`exp` is counted as several flops).
+    pub fp_ops: u64,
+    /// Stack traffic, shifts, moves, SIMD shuffles, etc.
+    pub other: u64,
+}
+
+impl OpCounts {
+    /// Total dynamic operations.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.branches + self.int_ops + self.fp_ops + self.other
+    }
+
+    /// Normalized breakdown in the paper's four Fig. 9 buckets.
+    pub fn mix(&self) -> OpMix {
+        let total = self.total().max(1) as f64;
+        OpMix {
+            memory: (self.loads + self.stores) as f64 / total,
+            branch: self.branches as f64 / total,
+            compute: (self.int_ops + self.fp_ops) as f64 / total,
+            other: self.other as f64 / total,
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &OpCounts) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+        self.other += other.other;
+    }
+
+    /// Fraction of operations that are floating point.
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp_ops as f64 / self.total().max(1) as f64
+    }
+
+    /// Fraction of operations that touch memory.
+    pub fn mem_fraction(&self) -> f64 {
+        (self.loads + self.stores) as f64 / self.total().max(1) as f64
+    }
+
+    /// Approximate bytes moved assuming 8-byte average access width.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.loads + self.stores) * 8
+    }
+}
+
+/// Normalized instruction-type shares (sums to 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Load + store share.
+    pub memory: f64,
+    /// Branch share.
+    pub branch: f64,
+    /// Integer + floating point share.
+    pub compute: f64,
+    /// Everything else.
+    pub other: f64,
+}
+
+impl OpMix {
+    /// Checks internal consistency (shares within `[0, 1]`, summing to 1).
+    pub fn is_normalized(&self) -> bool {
+        let sum = self.memory + self.branch + self.compute + self.other;
+        (sum - 1.0).abs() < 1e-9
+            && [self.memory, self.branch, self.compute, self.other]
+                .iter()
+                .all(|&x| (0.0..=1.0).contains(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_one() {
+        let c = OpCounts { loads: 10, stores: 5, branches: 3, int_ops: 7, fp_ops: 20, other: 5 };
+        assert!(c.mix().is_normalized());
+        assert_eq!(c.total(), 50);
+        assert!((c.mix().memory - 0.3).abs() < 1e-12);
+        assert!((c.mix().compute - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_are_safe() {
+        let c = OpCounts::default();
+        assert_eq!(c.total(), 0);
+        let m = c.mix();
+        assert_eq!(m.memory, 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = OpCounts { loads: 1, ..Default::default() };
+        a.add(&OpCounts { loads: 2, fp_ops: 3, ..Default::default() });
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.fp_ops, 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Incremental construction of [`TemporalGraph`]s.
+
+use crate::{NodeId, TemporalEdge, TemporalGraph, Time};
+
+/// Builder assembling a [`TemporalGraph`] from a temporal edge list.
+///
+/// The builder performs the counting-sort CSR construction used by GAPBS,
+/// then sorts each vertex's segment by timestamp. Options:
+///
+/// * [`undirected`](Self::undirected) — insert the reverse of every edge
+///   (the paper treats its interaction networks as undirected for walking);
+/// * [`normalize_times`](Self::normalize_times) — rescale timestamps into
+///   `[0, 1]` like the artifact's `preprocess_dataset.py`;
+/// * [`num_nodes`](Self::num_nodes) — force a vertex-count larger than the
+///   max id seen (for graphs with isolated tail vertices).
+///
+/// # Examples
+///
+/// ```
+/// use tgraph::{GraphBuilder, TemporalEdge};
+///
+/// let g = GraphBuilder::new()
+///     .add_edge(TemporalEdge::new(0, 1, 100.0))
+///     .add_edge(TemporalEdge::new(1, 2, 300.0))
+///     .undirected(true)
+///     .normalize_times(true)
+///     .build();
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.time_range(), Some((0.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<TemporalEdge>,
+    undirected: bool,
+    normalize: bool,
+    forced_nodes: Option<usize>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder (directed, no normalization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one edge.
+    #[must_use]
+    pub fn add_edge(mut self, e: TemporalEdge) -> Self {
+        self.edges.push(e);
+        self
+    }
+
+    /// Appends every edge from an iterator.
+    #[must_use]
+    pub fn extend_edges<I: IntoIterator<Item = TemporalEdge>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// When `true`, every edge is mirrored so walks can traverse both
+    /// directions of an interaction.
+    #[must_use]
+    pub fn undirected(mut self, yes: bool) -> Self {
+        self.undirected = yes;
+        self
+    }
+
+    /// When `true`, timestamps are affinely rescaled to `[0, 1]`
+    /// (a single distinct timestamp maps to `0.0`).
+    #[must_use]
+    pub fn normalize_times(mut self, yes: bool) -> Self {
+        self.normalize = yes;
+        self
+    }
+
+    /// Forces the vertex count; ignored if smaller than `max_id + 1`.
+    #[must_use]
+    pub fn num_nodes(mut self, n: usize) -> Self {
+        self.forced_nodes = Some(n);
+        self
+    }
+
+    /// Number of edges currently staged (before undirected doubling).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the CSR graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any timestamp is non-finite; use
+    /// [`try_build`](Self::try_build) for fallible construction.
+    pub fn build(self) -> TemporalGraph {
+        self.try_build().expect("invalid temporal edge list")
+    }
+
+    /// Fallible version of [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TGraphError::NonFiniteTime`] if any timestamp is NaN
+    /// or infinite.
+    pub fn try_build(mut self) -> Result<TemporalGraph, crate::TGraphError> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.time.is_finite() {
+                return Err(crate::TGraphError::NonFiniteTime { edge_index: i });
+            }
+        }
+        if self.undirected {
+            let rev: Vec<_> = self.edges.iter().map(TemporalEdge::reversed).collect();
+            self.edges.extend(rev);
+        }
+        if self.normalize && !self.edges.is_empty() {
+            let lo = self.edges.iter().map(|e| e.time).fold(f64::INFINITY, f64::min);
+            let hi = self.edges.iter().map(|e| e.time).fold(f64::NEG_INFINITY, f64::max);
+            let span = hi - lo;
+            for e in &mut self.edges {
+                e.time = if span > 0.0 { (e.time - lo) / span } else { 0.0 };
+            }
+        }
+
+        let max_id = self
+            .edges
+            .iter()
+            .map(|e| e.src.max(e.dst) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = self.forced_nodes.unwrap_or(0).max(max_id);
+
+        // Counting-sort CSR construction.
+        let mut counts = vec![0usize; n + 1];
+        for e in &self.edges {
+            counts[e.src as usize + 1] += 1;
+        }
+        let mut offsets = counts;
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let m = self.edges.len();
+        let mut dsts = vec![0 as NodeId; m];
+        let mut times = vec![0.0 as Time; m];
+        let mut cursor = offsets.clone();
+        for e in &self.edges {
+            let slot = cursor[e.src as usize];
+            dsts[slot] = e.dst;
+            times[slot] = e.time;
+            cursor[e.src as usize] += 1;
+        }
+
+        // Sort each vertex segment by (time, dst) for determinism.
+        for v in 0..n {
+            let (a, b) = (offsets[v], offsets[v + 1]);
+            let seg = &mut dsts[a..b];
+            let tseg = &mut times[a..b];
+            let mut idx: Vec<usize> = (0..seg.len()).collect();
+            idx.sort_by(|&i, &j| {
+                tseg[i]
+                    .partial_cmp(&tseg[j])
+                    .expect("timestamps are finite")
+                    .then(seg[i].cmp(&seg[j]))
+            });
+            let sorted_d: Vec<NodeId> = idx.iter().map(|&i| seg[i]).collect();
+            let sorted_t: Vec<Time> = idx.iter().map(|&i| tseg[i]).collect();
+            seg.copy_from_slice(&sorted_d);
+            tseg.copy_from_slice(&sorted_t);
+        }
+
+        Ok(TemporalGraph::from_csr(offsets, dsts, times))
+    }
+}
+
+impl FromIterator<TemporalEdge> for GraphBuilder {
+    fn from_iter<I: IntoIterator<Item = TemporalEdge>>(iter: I) -> Self {
+        GraphBuilder::new().extend_edges(iter)
+    }
+}
+
+impl Extend<TemporalEdge> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = TemporalEdge>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 1.0))
+            .undirected(true)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 50.0))
+            .add_edge(TemporalEdge::new(0, 2, 150.0))
+            .add_edge(TemporalEdge::new(0, 3, 100.0))
+            .normalize_times(true)
+            .build();
+        assert_eq!(g.time_range(), Some((0.0, 1.0)));
+        let times: Vec<f64> = g.neighbors(0).map(|(_, t)| t).collect();
+        assert_eq!(times, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_timestamps_normalize_to_zero() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 7.0))
+            .add_edge(TemporalEdge::new(1, 0, 7.0))
+            .normalize_times(true)
+            .build();
+        assert_eq!(g.time_range(), Some((0.0, 0.0)));
+    }
+
+    #[test]
+    fn forced_node_count() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.0))
+            .num_nodes(10)
+            .build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn non_finite_time_is_rejected() {
+        let r = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, f64::NAN))
+            .try_build();
+        assert!(matches!(r, Err(crate::TGraphError::NonFiniteTime { edge_index: 0 })));
+    }
+
+    #[test]
+    fn segments_sorted_by_time_then_dst() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 5, 1.0))
+            .add_edge(TemporalEdge::new(0, 2, 1.0))
+            .add_edge(TemporalEdge::new(0, 9, 0.5))
+            .build();
+        let order: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(order, vec![(9, 0.5), (2, 1.0), (5, 1.0)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let edges = vec![TemporalEdge::new(0, 1, 0.1), TemporalEdge::new(1, 2, 0.2)];
+        let b: GraphBuilder = edges.into_iter().collect();
+        assert_eq!(b.staged_edges(), 2);
+    }
+}

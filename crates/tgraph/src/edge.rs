@@ -1,0 +1,75 @@
+//! Core temporal edge types (paper Definition III.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. The paper's pipeline deliberately uses a
+/// single-integer vertex id as the only node feature (§IV-C).
+pub type NodeId = u32;
+
+/// Edge timestamp. The paper's data preparation normalizes timestamps into
+/// `[0, 1]` (artifact §A.5); any finite value is accepted here.
+pub type Time = f64;
+
+/// A directed temporal edge `(src, dst, time)`.
+///
+/// A collection of these forms a continuous-time dynamic graph; multiple
+/// edges between the same endpoints at different timestamps are meaningful
+/// and preserved throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use tgraph::TemporalEdge;
+///
+/// let e = TemporalEdge::new(3, 7, 0.25);
+/// assert_eq!(e.src, 3);
+/// assert_eq!(e.dst, 7);
+/// assert_eq!(e.time, 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalEdge {
+    /// Source vertex.
+    pub src: NodeId,
+    /// Destination vertex.
+    pub dst: NodeId,
+    /// Interaction timestamp.
+    pub time: Time,
+}
+
+impl TemporalEdge {
+    /// Creates a temporal edge.
+    pub fn new(src: NodeId, dst: NodeId, time: Time) -> Self {
+        Self { src, dst, time }
+    }
+
+    /// Returns the same interaction in the opposite direction (used when
+    /// symmetrizing a graph).
+    #[must_use]
+    pub fn reversed(&self) -> Self {
+        Self { src: self.dst, dst: self.src, time: self.time }
+    }
+
+    /// Endpoint pair ignoring time, useful as a set key for negative
+    /// sampling.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints_only() {
+        let e = TemporalEdge::new(1, 2, 0.5);
+        let r = e.reversed();
+        assert_eq!(r, TemporalEdge::new(2, 1, 0.5));
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn endpoints_drop_time() {
+        assert_eq!(TemporalEdge::new(9, 4, 0.99).endpoints(), (9, 4));
+    }
+}

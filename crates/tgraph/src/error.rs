@@ -1,0 +1,73 @@
+//! Error type for temporal graph construction and IO.
+
+use std::fmt;
+
+/// Errors produced while building, reading, or writing temporal graphs.
+#[derive(Debug)]
+pub enum TGraphError {
+    /// Underlying IO failure while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of what failed to parse.
+        message: String,
+    },
+    /// A timestamp was not a finite number.
+    NonFiniteTime {
+        /// The offending edge index in construction order.
+        edge_index: usize,
+    },
+    /// The graph was empty where a non-empty graph is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for TGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TGraphError::Io(e) => write!(f, "io error: {e}"),
+            TGraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TGraphError::NonFiniteTime { edge_index } => {
+                write!(f, "non-finite timestamp on edge {edge_index}")
+            }
+            TGraphError::EmptyGraph => write!(f, "graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for TGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TGraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TGraphError {
+    fn from(e: std::io::Error) -> Self {
+        TGraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = TGraphError::Parse { line: 3, message: "bad field".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TGraphError>();
+    }
+}

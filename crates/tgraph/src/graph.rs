@@ -1,0 +1,310 @@
+//! CSR temporal graph (the paper's `WGraph` analog).
+
+use crate::{NodeId, TemporalEdge, Time};
+
+/// A directed temporal graph in CSR form with timestamp-sorted adjacency.
+///
+/// Storage is structure-of-arrays: for vertex `v`, the half-open range
+/// `offsets[v]..offsets[v + 1]` indexes into parallel `dsts`/`times`
+/// arrays. Within a vertex's segment edges are sorted by ascending
+/// timestamp, which lets the walk kernel find the temporally-valid suffix
+/// with one `partition_point` (binary search) instead of scanning every
+/// neighbor (paper Algorithm 1's `sampleLatest`).
+///
+/// Multi-edges (same endpoints, different timestamps) are preserved, as the
+/// paper requires for modeling repeated interactions.
+///
+/// Construct via [`crate::GraphBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalGraph {
+    offsets: Vec<usize>,
+    dsts: Vec<NodeId>,
+    times: Vec<Time>,
+}
+
+impl TemporalGraph {
+    pub(crate) fn from_csr(offsets: Vec<usize>, dsts: Vec<NodeId>, times: Vec<Time>) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), dsts.len());
+        debug_assert_eq!(dsts.len(), times.len());
+        Self { offsets, dsts, times }
+    }
+
+    /// Number of vertices (including isolated ones up to the max id seen).
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of directed temporal edges (multi-edges counted).
+    pub fn num_edges(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// Out-degree of `v` (temporal multi-edges counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum out-degree across all vertices (the `M` in the paper's
+    /// `O(K·N·|V|·M)` walk complexity).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.out_degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Timestamp-sorted neighbor segment of `v` as parallel slices
+    /// `(destinations, timestamps)`.
+    pub fn neighbor_slices(&self, v: NodeId) -> (&[NodeId], &[Time]) {
+        let v = v as usize;
+        let (a, b) = (self.offsets[v], self.offsets[v + 1]);
+        (&self.dsts[a..b], &self.times[a..b])
+    }
+
+    /// Iterator over `(dst, time)` pairs of `v` in ascending-time order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tgraph::{GraphBuilder, TemporalEdge};
+    ///
+    /// let g = GraphBuilder::new()
+    ///     .add_edge(TemporalEdge::new(0, 1, 0.3))
+    ///     .add_edge(TemporalEdge::new(0, 2, 0.1))
+    ///     .build();
+    /// let order: Vec<u32> = g.neighbors(0).map(|(d, _)| d).collect();
+    /// assert_eq!(order, vec![2, 1]);
+    /// ```
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let (dsts, times) = self.neighbor_slices(v);
+        Neighbors { dsts, times, pos: 0 }
+    }
+
+    /// The temporally-valid suffix of `v`'s adjacency: neighbors reachable
+    /// at a time strictly greater than `after` (Definition III.2 requires
+    /// strictly increasing timestamps along a walk).
+    ///
+    /// Returns parallel `(destinations, timestamps)` slices; both are empty
+    /// when no temporally-valid neighbor exists.
+    pub fn neighbors_after(&self, v: NodeId, after: Time) -> (&[NodeId], &[Time]) {
+        let (dsts, times) = self.neighbor_slices(v);
+        let cut = times.partition_point(|&t| t <= after);
+        (&dsts[cut..], &times[cut..])
+    }
+
+    /// Like [`Self::neighbors_after`] but inclusive (`t >= after`), used for
+    /// the first hop of a walk where the start time itself is admissible.
+    pub fn neighbors_from(&self, v: NodeId, from: Time) -> (&[NodeId], &[Time]) {
+        let (dsts, times) = self.neighbor_slices(v);
+        let cut = times.partition_point(|&t| t < from);
+        (&dsts[cut..], &times[cut..])
+    }
+
+    /// Linear-scan equivalent of [`Self::neighbors_after`] — the `O(M)`
+    /// per-step cost of the paper's Algorithm 1 `sampleLatest`, kept as an
+    /// ablation baseline for the binary-search lookup (see the
+    /// `bench_rwalk` `neighbor_lookup` group).
+    pub fn neighbors_after_linear(&self, v: NodeId, after: Time) -> (&[NodeId], &[Time]) {
+        let (dsts, times) = self.neighbor_slices(v);
+        let mut cut = 0;
+        while cut < times.len() && times[cut] <= after {
+            cut += 1;
+        }
+        (&dsts[cut..], &times[cut..])
+    }
+
+    /// Iterator over every temporal edge in the graph, grouped by source
+    /// vertex and time-sorted within each group.
+    pub fn edges(&self) -> impl Iterator<Item = TemporalEdge> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |v| {
+            self.neighbors(v).map(move |(d, t)| TemporalEdge::new(v, d, t))
+        })
+    }
+
+    /// Whether at least one `u -> v` edge exists at any timestamp.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if (u as usize) >= self.num_nodes() {
+            return false;
+        }
+        self.neighbor_slices(u).0.contains(&v)
+    }
+
+    /// Smallest and largest timestamps, or `None` for an edgeless graph.
+    pub fn time_range(&self) -> Option<(Time, Time)> {
+        if self.times.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &t in &self.times {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        Some((lo, hi))
+    }
+
+    /// The span `t_max - t_min` used as the softmax normalization term `r`
+    /// in the paper's Eq. (1); zero for graphs with a single timestamp.
+    pub fn time_span(&self) -> Time {
+        self.time_range().map(|(lo, hi)| hi - lo).unwrap_or(0.0)
+    }
+
+    /// Snapshot `G_t`: the subgraph containing only edges with
+    /// `time <= t` (Definition of graph snapshots, Table I).
+    pub fn snapshot_until(&self, t: Time) -> TemporalGraph {
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut dsts = Vec::new();
+        let mut times = Vec::new();
+        offsets.push(0);
+        for v in 0..n as NodeId {
+            let (d, tt) = self.neighbor_slices(v);
+            let cut = tt.partition_point(|&x| x <= t);
+            dsts.extend_from_slice(&d[..cut]);
+            times.extend_from_slice(&tt[..cut]);
+            offsets.push(dsts.len());
+        }
+        TemporalGraph::from_csr(offsets, dsts, times)
+    }
+
+    /// Approximate resident size in bytes of the CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.dsts.len() * std::mem::size_of::<NodeId>()
+            + self.times.len() * std::mem::size_of::<Time>()
+    }
+}
+
+/// Iterator over a vertex's `(dst, time)` pairs produced by
+/// [`TemporalGraph::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    dsts: &'a [NodeId],
+    times: &'a [Time],
+    pos: usize,
+}
+
+impl<'a> Iterator for Neighbors<'a> {
+    type Item = (NodeId, Time);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.dsts.len() {
+            let item = (self.dsts[self.pos], self.times[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.dsts.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn toy() -> TemporalGraph {
+        // Fig. 2-style toy graph: u=0, v=1, x=2, y=3.
+        GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 1.0))
+            .add_edge(TemporalEdge::new(1, 2, 2.0))
+            .add_edge(TemporalEdge::new(1, 3, 5.0))
+            .add_edge(TemporalEdge::new(1, 0, 0.5))
+            .build()
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbors_after_is_strict() {
+        let g = toy();
+        let (d, t) = g.neighbors_after(1, 2.0);
+        assert_eq!(d, &[3]);
+        assert_eq!(t, &[5.0]);
+        // Inclusive variant keeps the t == 2.0 edge.
+        let (d, _) = g.neighbors_from(1, 2.0);
+        assert_eq!(d, &[2, 3]);
+    }
+
+    #[test]
+    fn linear_and_binary_lookup_agree() {
+        let g = crate::gen::erdos_renyi(60, 600, 8).build();
+        for v in 0..g.num_nodes() as NodeId {
+            for t in [-0.1, 0.0, 0.25, 0.5, 0.9, 1.1] {
+                assert_eq!(g.neighbors_after(v, t), g.neighbors_after_linear(v, t));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_after_all_and_none() {
+        let g = toy();
+        let (d, _) = g.neighbors_after(1, -1.0);
+        assert_eq!(d.len(), 3);
+        let (d, _) = g.neighbors_after(1, 10.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn multi_edges_are_preserved() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 1.0))
+            .add_edge(TemporalEdge::new(0, 1, 2.0))
+            .add_edge(TemporalEdge::new(0, 1, 3.0))
+            .build();
+        assert_eq!(g.out_degree(0), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn snapshot_filters_by_time() {
+        let g = toy();
+        let s = g.snapshot_until(1.0);
+        assert_eq!(s.num_edges(), 2); // t=0.5 and t=1.0 edges
+        assert_eq!(s.num_nodes(), g.num_nodes());
+        assert_eq!(s.out_degree(1), 1);
+    }
+
+    #[test]
+    fn time_range_and_span() {
+        let g = toy();
+        assert_eq!(g.time_range(), Some((0.5, 5.0)));
+        assert!((g.time_span() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = toy();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        let g2 = GraphBuilder::new().extend_edges(edges).build();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.time_range(), None);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! `.wel` weighted-edge-list IO.
+//!
+//! The paper's artifact stores temporal graphs as whitespace-separated
+//! `src dst timestamp` rows (one edge per line), optionally preceded by
+//! `#` comment lines, with timestamps normalized to `[0, 1]` by a
+//! preprocessing script. [`read_wel`] accepts exactly that format (comments
+//! tolerated) and [`write_wel`] emits it.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{GraphBuilder, TGraphError, TemporalEdge};
+
+/// Parses `.wel` rows from any reader into a [`GraphBuilder`].
+///
+/// Blank lines and lines starting with `#` or `%` are skipped.
+///
+/// # Errors
+///
+/// Returns [`TGraphError::Parse`] with a 1-based line number when a row
+/// does not contain `src dst time` with integer ids and a float time, and
+/// [`TGraphError::Io`] on read failure.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), tgraph::TGraphError> {
+/// let data = "# comment\n0 1 0.25\n1 2 0.75\n";
+/// let g = tgraph::io::read_wel(data.as_bytes())?.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_wel<R: Read>(reader: R) -> Result<GraphBuilder, TGraphError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let edge = (|| -> Option<TemporalEdge> {
+            let src = fields.next()?.parse().ok()?;
+            let dst = fields.next()?.parse().ok()?;
+            let time = fields.next()?.parse().ok()?;
+            Some(TemporalEdge::new(src, dst, time))
+        })()
+        .ok_or_else(|| TGraphError::Parse {
+            line: lineno + 1,
+            message: format!("expected `src dst time`, got {trimmed:?}"),
+        })?;
+        builder = builder.add_edge(edge);
+    }
+    Ok(builder)
+}
+
+/// Reads a `.wel` file from disk.
+///
+/// # Errors
+///
+/// Same conditions as [`read_wel`], plus file-open failures.
+pub fn read_wel_file<P: AsRef<Path>>(path: P) -> Result<GraphBuilder, TGraphError> {
+    read_wel(std::fs::File::open(path)?)
+}
+
+/// Writes edges as `.wel` rows to any writer.
+///
+/// # Errors
+///
+/// Returns [`TGraphError::Io`] on write failure.
+pub fn write_wel<W: Write, I: IntoIterator<Item = TemporalEdge>>(
+    writer: W,
+    edges: I,
+) -> Result<(), TGraphError> {
+    let mut out = BufWriter::new(writer);
+    for e in edges {
+        writeln!(out, "{} {} {}", e.src, e.dst, e.time)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a `.wel` file to disk.
+///
+/// # Errors
+///
+/// Same conditions as [`write_wel`], plus file-create failures.
+pub fn write_wel_file<P: AsRef<Path>, I: IntoIterator<Item = TemporalEdge>>(
+    path: P,
+    edges: I,
+) -> Result<(), TGraphError> {
+    write_wel(std::fs::File::create(path)?, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let edges = vec![
+            TemporalEdge::new(0, 1, 0.25),
+            TemporalEdge::new(1, 2, 0.5),
+            TemporalEdge::new(2, 0, 1.0),
+        ];
+        let mut buf = Vec::new();
+        write_wel(&mut buf, edges.clone()).unwrap();
+        let g = read_wel(buf.as_slice()).unwrap().build();
+        let g2 = GraphBuilder::new().extend_edges(edges).build();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let data = "# header\n\n% another comment\n0 1 0.5\n";
+        let g = read_wel(data.as_bytes()).unwrap().build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_row_reports_line_number() {
+        let data = "0 1 0.5\nnot an edge\n";
+        let err = read_wel(data.as_bytes()).unwrap_err();
+        match err {
+            TGraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_field_is_parse_error() {
+        let err = read_wel("3 4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TGraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn integer_timestamps_parse_as_float() {
+        let g = read_wel("0 1 12345\n".as_bytes()).unwrap().build();
+        assert_eq!(g.time_range(), Some((12345.0, 12345.0)));
+    }
+}

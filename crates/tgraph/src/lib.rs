@@ -1,0 +1,53 @@
+//! Temporal graph substrate.
+//!
+//! This crate is the analog of the paper's GAPBS-derived `WGraph`: a CSR
+//! (compressed sparse row) graph whose per-edge weight slot stores a
+//! timestamp, preserving multiple temporally-distinct edges between the same
+//! endpoint pair (paper §V-A). Adjacency segments are sorted by timestamp so
+//! the walk kernel can locate temporally-valid neighbors with a binary
+//! search.
+//!
+//! It also provides:
+//!
+//! * [`GraphBuilder`] — incremental construction from temporal edge lists,
+//!   with optional undirected doubling and timestamp normalization;
+//! * [`io`] — the `.wel` (`src dst time`) edge-list format used by the
+//!   paper's artifact;
+//! * [`gen`] — synthetic generators: Erdős–Rényi (hardware study), temporal
+//!   preferential attachment (power-law stand-ins for the real link
+//!   prediction datasets), and a temporal stochastic block model (planted
+//!   labels for node classification);
+//! * [`stats`] — degree and timestamp statistics used by the
+//!   characterization experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use tgraph::{GraphBuilder, TemporalEdge};
+//!
+//! let g = GraphBuilder::new()
+//!     .add_edge(TemporalEdge::new(0, 1, 0.1))
+//!     .add_edge(TemporalEdge::new(1, 2, 0.5))
+//!     .add_edge(TemporalEdge::new(1, 3, 0.2))
+//!     .build();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.out_degree(1), 2);
+//! // Neighbors are timestamp-sorted:
+//! let times: Vec<f64> = g.neighbors(1).map(|(_, t)| t).collect();
+//! assert_eq!(times, vec![0.2, 0.5]);
+//! ```
+
+pub mod algo;
+mod builder;
+pub mod dynamic;
+mod edge;
+mod error;
+mod graph;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use edge::{NodeId, TemporalEdge, Time};
+pub use error::TGraphError;
+pub use graph::{Neighbors, TemporalGraph};

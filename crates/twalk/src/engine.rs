@@ -1,0 +1,440 @@
+//! The walk kernel itself (paper Algorithm 1).
+
+use par::{parallel_chunks, ParConfig};
+use tgraph::{NodeId, TemporalGraph, Time};
+
+use crate::{TransitionSampler, WalkConfig, WalkRng, WalkSet};
+
+/// Generates `K` temporal walks from every vertex, parallelizing the
+/// middle (vertex) loop with dynamic scheduling — the arrangement the paper
+/// found optimal (§V-A).
+///
+/// Walks are deterministic in `cfg.seed` and independent of the thread
+/// count, because each `(walk, vertex)` pair draws from its own RNG stream.
+///
+/// # Examples
+///
+/// ```
+/// use twalk::{generate_walks, WalkConfig};
+/// use par::ParConfig;
+///
+/// let g = tgraph::gen::erdos_renyi(100, 800, 5).build();
+/// let w = generate_walks(&g, &WalkConfig::new(4, 6), &ParConfig::default());
+/// assert_eq!(w.num_walks(), 400);
+/// ```
+pub fn generate_walks(g: &TemporalGraph, cfg: &WalkConfig, par: &ParConfig) -> WalkSet {
+    let n = g.num_nodes();
+    let k = cfg.walks_per_node;
+    let nl = cfg.max_length;
+    let total = n * k;
+    let mut nodes = vec![0 as NodeId; total * nl];
+    let mut lengths = vec![0u32; total];
+    // The softmax normalization term r (Eq. 1) is a whole-graph property;
+    // computing it once here keeps the per-walk cost O(steps), not O(|E|).
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+
+    // One contiguous output row per (walk w, vertex v): index w * n + v,
+    // matching Algorithm 1's loop nest (outer walk loop, inner vertex loop).
+    {
+        let nodes_ptr = nodes.as_mut_ptr() as usize;
+        let lengths_ptr = lengths.as_mut_ptr() as usize;
+        parallel_chunks(par, total, |start, end| {
+            // SAFETY: chunks are disjoint subranges of 0..total; each row
+            // of `nodes` and slot of `lengths` is written by exactly one
+            // worker.
+            let nodes = nodes_ptr as *mut NodeId;
+            let lengths = lengths_ptr as *mut u32;
+            for idx in start..end {
+                let w = idx / n;
+                let v = (idx % n) as NodeId;
+                let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
+                let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
+                let len = walk_into(g, span, cfg, v, &mut rng, row);
+                unsafe { *lengths.add(idx) = len as u32 };
+            }
+        });
+    }
+
+    WalkSet::from_parts(nodes, lengths, nl)
+}
+
+/// Serial reference implementation of [`generate_walks`], used by tests and
+/// the thread-scaling study's single-thread baseline.
+pub fn generate_walks_serial(g: &TemporalGraph, cfg: &WalkConfig) -> WalkSet {
+    generate_walks(g, cfg, &ParConfig::with_threads(1))
+}
+
+/// Generates `K` walks from each of the given `sources` only — the
+/// incremental-refresh primitive: after a batch of edge insertions, only
+/// the touched vertices need their neighborhoods re-sampled.
+///
+/// Walk `(w, i)` (for source index `i`) lands at row
+/// `w * sources.len() + i` and uses the same RNG stream a full run would
+/// use for that `(walk, vertex)` pair, so refreshed walks match full-run
+/// walks exactly.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn generate_walks_from(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sources: &[NodeId],
+    par: &ParConfig,
+) -> WalkSet {
+    let n = g.num_nodes();
+    assert!(
+        sources.iter().all(|&v| (v as usize) < n),
+        "walk source out of range"
+    );
+    let k = cfg.walks_per_node;
+    let nl = cfg.max_length;
+    let total = sources.len() * k;
+    let mut nodes = vec![0 as NodeId; total * nl];
+    let mut lengths = vec![0u32; total];
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+    if !sources.is_empty() {
+        let nodes_ptr = nodes.as_mut_ptr() as usize;
+        let lengths_ptr = lengths.as_mut_ptr() as usize;
+        parallel_chunks(par, total, |start, end| {
+            // SAFETY: disjoint chunk ranges; each output row written once.
+            let nodes = nodes_ptr as *mut NodeId;
+            let lengths = lengths_ptr as *mut u32;
+            for idx in start..end {
+                let w = idx / sources.len();
+                let v = sources[idx % sources.len()];
+                let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
+                let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
+                let len = walk_into(g, span, cfg, v, &mut rng, row);
+                unsafe { *lengths.add(idx) = len as u32 };
+            }
+        });
+    }
+    WalkSet::from_parts(nodes, lengths, nl)
+}
+
+/// Performs a single temporal walk from `start` and returns its vertices.
+///
+/// Exposed for diagnostics and doc examples; the bulk kernel writes into a
+/// preallocated matrix instead.
+///
+/// # Examples
+///
+/// ```
+/// use twalk::{walk_from, WalkConfig, WalkRng};
+///
+/// let g = tgraph::GraphBuilder::new()
+///     .add_edge(tgraph::TemporalEdge::new(0, 1, 0.1))
+///     .add_edge(tgraph::TemporalEdge::new(1, 2, 0.2))
+///     .build();
+/// let mut rng = WalkRng::new(1);
+/// let walk = walk_from(&g, &WalkConfig::new(1, 8), 0, &mut rng);
+/// assert_eq!(walk, vec![0, 1, 2]);
+/// ```
+pub fn walk_from(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    start: NodeId,
+    rng: &mut WalkRng,
+) -> Vec<NodeId> {
+    let mut buf = vec![0 as NodeId; cfg.max_length];
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+    let len = walk_into(g, span, cfg, start, rng, &mut buf);
+    buf.truncate(len);
+    buf
+}
+
+/// Core of Algorithm 1: walks from `start`, writing vertices into `out`,
+/// returning the number of vertices written (≥ 1).
+fn walk_into(
+    g: &TemporalGraph,
+    span: f64,
+    cfg: &WalkConfig,
+    start: NodeId,
+    rng: &mut WalkRng,
+    out: &mut [NodeId],
+) -> usize {
+    debug_assert!(out.len() >= cfg.max_length);
+    out[0] = start;
+    let mut len = 1usize;
+    let mut curr = start;
+    let mut curr_time = cfg.start_time;
+    let mut first_hop = true;
+
+    while len < cfg.max_length {
+        // Temporally-valid candidate set: binary search over the
+        // timestamp-sorted segment (the paper's `sampleLatest` without the
+        // O(M) scan).
+        let (dsts, times) = if !cfg.respect_time {
+            g.neighbor_slices(curr)
+        } else if first_hop {
+            if curr_time.is_finite() {
+                g.neighbors_from(curr, curr_time)
+            } else {
+                g.neighbor_slices(curr)
+            }
+        } else {
+            g.neighbors_after(curr, curr_time)
+        };
+        if dsts.is_empty() {
+            break; // Algorithm 1 line 9: dead end.
+        }
+
+        let pick = match cfg.sampler {
+            TransitionSampler::Uniform => rng.next_bounded(dsts.len()),
+            TransitionSampler::Softmax => sample_softmax(times, span, rng, false, curr_time),
+            TransitionSampler::SoftmaxRecency => {
+                sample_softmax(times, span, rng, true, curr_time)
+            }
+            TransitionSampler::LinearTime => sample_linear(dsts.len(), rng),
+        };
+
+        curr = dsts[pick];
+        curr_time = times[pick];
+        out[len] = curr;
+        len += 1;
+        first_hop = false;
+    }
+    len
+}
+
+/// Samples an index from the softmax distribution of paper Eq. (1) over the
+/// candidate timestamps. With `recency` the exponent is negated and shifted
+/// by the current time, preferring the temporally-nearest interaction.
+fn sample_softmax(times: &[Time], span: f64, rng: &mut WalkRng, recency: bool, now: Time) -> usize {
+    debug_assert!(!times.is_empty());
+    if times.len() == 1 {
+        return 0;
+    }
+    // Numerically stable: subtract the max exponent before exponentiating.
+    let base = if now.is_finite() { now } else { 0.0 };
+    let exponent = |t: Time| -> f64 {
+        if recency {
+            -(t - base) / span
+        } else {
+            t / span
+        }
+    };
+    let mut max_e = f64::NEG_INFINITY;
+    for &t in times {
+        max_e = max_e.max(exponent(t));
+    }
+    let mut total = 0.0;
+    // Candidate sets are usually small (bounded by degree); two passes keep
+    // this allocation-free.
+    for &t in times {
+        total += (exponent(t) - max_e).exp();
+    }
+    let target = rng.next_f64() * total;
+    let mut acc = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        acc += (exponent(t) - max_e).exp();
+        if target < acc {
+            return i;
+        }
+    }
+    times.len() - 1
+}
+
+/// Samples index `i ∈ 0..len` with probability proportional to `i + 1`
+/// (candidates are time-sorted ascending, so the latest edge has the
+/// highest rank) — CTDNE's linear temporal bias, computed in O(1) by
+/// inverting the triangular CDF.
+fn sample_linear(len: usize, rng: &mut WalkRng) -> usize {
+    debug_assert!(len > 0);
+    if len == 1 {
+        return 0;
+    }
+    // CDF(i) = (i+1)(i+2)/2 over total len(len+1)/2; invert with sqrt.
+    let total = (len * (len + 1) / 2) as f64;
+    let target = rng.next_f64() * total;
+    
+    ((((8.0 * target + 1.0).sqrt() - 1.0) / 2.0).floor() as usize).min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{GraphBuilder, TemporalEdge};
+
+    fn chain() -> TemporalGraph {
+        GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.1))
+            .add_edge(TemporalEdge::new(1, 2, 0.2))
+            .add_edge(TemporalEdge::new(2, 3, 0.3))
+            .add_edge(TemporalEdge::new(3, 4, 0.4))
+            .build()
+    }
+
+    #[test]
+    fn walk_follows_chain_until_length_cap() {
+        let g = chain();
+        let mut rng = WalkRng::new(0);
+        let w = walk_from(&g, &WalkConfig::new(1, 3), 0, &mut rng);
+        assert_eq!(w, vec![0, 1, 2]);
+        let w = walk_from(&g, &WalkConfig::new(1, 10), 0, &mut rng);
+        assert_eq!(w, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn walk_stops_at_temporal_dead_end() {
+        // Edge times decrease: 1 -> 2 happens *before* 0 -> 1, so the walk
+        // cannot continue past vertex 1.
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.9))
+            .add_edge(TemporalEdge::new(1, 2, 0.1))
+            .build();
+        let mut rng = WalkRng::new(0);
+        let w = walk_from(&g, &WalkConfig::new(1, 10), 0, &mut rng);
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn equal_timestamps_do_not_chain() {
+        // Strictly-increasing requirement: t2 must be > t1.
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.5))
+            .add_edge(TemporalEdge::new(1, 2, 0.5))
+            .build();
+        let mut rng = WalkRng::new(0);
+        let w = walk_from(&g, &WalkConfig::new(1, 10), 0, &mut rng);
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn start_time_filters_first_hop() {
+        let g = chain();
+        let mut rng = WalkRng::new(0);
+        let cfg = WalkConfig::new(1, 10).start_time(0.2);
+        // First hop from vertex 0 requires t >= 0.2; the only 0-edge has
+        // t = 0.1, so the walk is stuck at the start.
+        let w = walk_from(&g, &cfg, 0, &mut rng);
+        assert_eq!(w, vec![0]);
+        // From vertex 1 the t = 0.2 edge is admissible (inclusive).
+        let w = walk_from(&g, &cfg, 1, &mut rng);
+        assert_eq!(w, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_walks_are_temporally_valid() {
+        let g = tgraph::gen::preferential_attachment(400, 2, 3)
+            .undirected(true)
+            .build();
+        for sampler in [
+            TransitionSampler::Uniform,
+            TransitionSampler::Softmax,
+            TransitionSampler::SoftmaxRecency,
+            TransitionSampler::LinearTime,
+        ] {
+            let cfg = WalkConfig::new(3, 8).sampler(sampler).seed(5);
+            let walks = generate_walks_serial(&g, &cfg);
+            for w in walks.iter() {
+                // Re-derive edge times along the walk and check strict
+                // monotonicity; each consecutive pair must be a real edge.
+                let mut last_t = f64::NEG_INFINITY;
+                for pair in w.windows(2) {
+                    let (dsts, times) = g.neighbor_slices(pair[0]);
+                    let t = dsts
+                        .iter()
+                        .zip(times)
+                        .filter(|&(&d, &t)| d == pair[1] && t > last_t)
+                        .map(|(_, &t)| t)
+                        .next()
+                        .expect("walk uses a real, temporally-valid edge");
+                    last_t = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let g = tgraph::gen::erdos_renyi(200, 2_000, 7).build();
+        let cfg = WalkConfig::new(5, 6).seed(11);
+        let serial = generate_walks_serial(&g, &cfg);
+        let parallel = generate_walks(&g, &cfg, &ParConfig::with_threads(8).chunk_size(13));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_vertex_gets_k_walks() {
+        let g = chain();
+        let walks = generate_walks_serial(&g, &WalkConfig::new(3, 4));
+        assert_eq!(walks.num_walks(), 3 * g.num_nodes());
+        // Walk for (w, v) starts at v.
+        let n = g.num_nodes();
+        for w in 0..3 {
+            for v in 0..n {
+                assert_eq!(walks.walk(w * n + v)[0], v as NodeId);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_prefers_late_edges_and_recency_prefers_early() {
+        // Vertex 0 has two candidate edges at t = 0.1 and t = 0.9 with a
+        // wide span; Eq. (1) softmax should mostly take the late edge, the
+        // recency variant the early edge.
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.001))
+            .add_edge(TemporalEdge::new(0, 2, 0.999))
+            // Far-apart anchor edges stretch the span so the exponent gap
+            // stays meaningful after normalization.
+            .add_edge(TemporalEdge::new(3, 4, 0.0))
+            .add_edge(TemporalEdge::new(4, 3, 1.0))
+            .build();
+        let count_late = |sampler: TransitionSampler| -> usize {
+            let mut late = 0;
+            for seed in 0..400 {
+                let mut rng = WalkRng::new(seed);
+                let cfg = WalkConfig::new(1, 2).sampler(sampler);
+                let w = walk_from(&g, &cfg, 0, &mut rng);
+                if w[1] == 2 {
+                    late += 1;
+                }
+            }
+            late
+        };
+        let softmax_late = count_late(TransitionSampler::Softmax);
+        let recency_late = count_late(TransitionSampler::SoftmaxRecency);
+        assert!(softmax_late > 240, "softmax picked late only {softmax_late}/400");
+        assert!(recency_late < 160, "recency picked late {recency_late}/400");
+    }
+
+    #[test]
+    fn walks_from_sources_match_full_run_rows() {
+        let g = tgraph::gen::erdos_renyi(100, 1_000, 5).build();
+        let cfg = WalkConfig::new(3, 6).seed(9);
+        let full = generate_walks_serial(&g, &cfg);
+        let sources = [7u32, 42, 99];
+        let partial = generate_walks_from(&g, &cfg, &sources, &ParConfig::with_threads(2));
+        assert_eq!(partial.num_walks(), 9);
+        let n = g.num_nodes();
+        for w in 0..3 {
+            for (i, &v) in sources.iter().enumerate() {
+                assert_eq!(
+                    partial.walk(w * sources.len() + i),
+                    full.walk(w * n + v as usize),
+                    "walk {w} from source {v} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walks_from_empty_sources_is_empty() {
+        let g = tgraph::gen::erdos_renyi(10, 50, 1).build();
+        let w = generate_walks_from(&g, &WalkConfig::new(2, 4), &[], &ParConfig::default());
+        assert_eq!(w.num_walks(), 0);
+    }
+
+    #[test]
+    fn isolated_vertex_yields_singleton_walk() {
+        let g = GraphBuilder::new()
+            .add_edge(TemporalEdge::new(0, 1, 0.5))
+            .num_nodes(5)
+            .build();
+        let walks = generate_walks_serial(&g, &WalkConfig::new(1, 4));
+        assert_eq!(walks.walk(4), &[4]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Flat storage for generated walks (Algorithm 1's output matrix `W`).
+
+use tgraph::NodeId;
+
+/// A set of temporal walks in the paper's `|V| × K × N` matrix layout:
+/// a flat vertex buffer with stride `max_length` plus per-walk lengths.
+///
+/// Walk `i` occupies `nodes[i * max_length .. i * max_length + lengths[i]]`;
+/// unused tail slots are left as a sentinel and never exposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkSet {
+    nodes: Vec<NodeId>,
+    lengths: Vec<u32>,
+    max_length: usize,
+}
+
+impl WalkSet {
+    pub(crate) fn from_parts(nodes: Vec<NodeId>, lengths: Vec<u32>, max_length: usize) -> Self {
+        debug_assert_eq!(nodes.len(), lengths.len() * max_length);
+        Self { nodes, lengths, max_length }
+    }
+
+    /// Number of walks stored (equals `K × |V|` for a full run).
+    pub fn num_walks(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Configured maximum walk length `N`.
+    pub fn max_length(&self) -> usize {
+        self.max_length
+    }
+
+    /// The `i`-th walk as a vertex slice (length ≥ 1 for generated sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_walks()`.
+    pub fn walk(&self, i: usize) -> &[NodeId] {
+        let start = i * self.max_length;
+        &self.nodes[start..start + self.lengths[i] as usize]
+    }
+
+    /// Iterator over all walks as vertex slices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twalk::{generate_walks, WalkConfig};
+    /// use par::ParConfig;
+    ///
+    /// let g = tgraph::gen::erdos_renyi(50, 400, 3).build();
+    /// let walks = generate_walks(&g, &WalkConfig::new(2, 4), &ParConfig::with_threads(1));
+    /// let total: usize = walks.iter().map(|w| w.len()).sum();
+    /// assert_eq!(total, walks.total_vertices());
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.num_walks()).map(move |i| self.walk(i))
+    }
+
+    /// Total number of vertex occurrences across all walks (the word2vec
+    /// corpus size in tokens).
+    pub fn total_vertices(&self) -> usize {
+        self.lengths.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Histogram of walk lengths: index `l` holds the number of walks with
+    /// exactly `l` vertices (index 0 is always zero for generated sets).
+    /// This is the paper's Fig. 4 data.
+    pub fn length_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; self.max_length + 1];
+        for &l in &self.lengths {
+            hist[l as usize] += 1;
+        }
+        hist
+    }
+
+    /// Mean walk length in vertices.
+    pub fn mean_length(&self) -> f64 {
+        if self.lengths.is_empty() {
+            return 0.0;
+        }
+        self.total_vertices() as f64 / self.num_walks() as f64
+    }
+
+    /// Builds a walk set from explicit walks (for tests and for feeding
+    /// word2vec with external corpora).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any walk is empty or longer than `max_length`.
+    pub fn from_walks(walks: &[Vec<NodeId>], max_length: usize) -> Self {
+        let mut nodes = vec![0 as NodeId; walks.len() * max_length];
+        let mut lengths = Vec::with_capacity(walks.len());
+        for (i, w) in walks.iter().enumerate() {
+            assert!(!w.is_empty(), "walk {i} is empty");
+            assert!(w.len() <= max_length, "walk {i} exceeds max_length");
+            nodes[i * max_length..i * max_length + w.len()].copy_from_slice(w);
+            lengths.push(w.len() as u32);
+        }
+        Self { nodes, lengths, max_length }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_walks_round_trip() {
+        let walks = vec![vec![1, 2, 3], vec![4], vec![5, 6]];
+        let set = WalkSet::from_walks(&walks, 4);
+        assert_eq!(set.num_walks(), 3);
+        assert_eq!(set.walk(0), &[1, 2, 3]);
+        assert_eq!(set.walk(1), &[4]);
+        assert_eq!(set.walk(2), &[5, 6]);
+        assert_eq!(set.total_vertices(), 6);
+        assert!((set.mean_length() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_lengths() {
+        let set = WalkSet::from_walks(&[vec![1], vec![2, 3], vec![4, 5], vec![6, 7, 8]], 3);
+        assert_eq!(set.length_histogram(), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_length")]
+    fn overlong_walk_rejected() {
+        let _ = WalkSet::from_walks(&[vec![1, 2, 3]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_walk_rejected() {
+        let _ = WalkSet::from_walks(&[vec![]], 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! The hardware-characterization APIs: instruction mixes, cache behavior,
+//! a GPU time estimate, and a stall breakdown for one kernel — the
+//! building blocks of the paper's Figs. 3, 9 and 11.
+//!
+//! ```text
+//! cargo run --release --example workload_characterization
+//! ```
+
+use perfmodel::profile::{profile_bfs, profile_walk, ProfileOptions};
+use perfmodel::stalls::stall_breakdown;
+use perfmodel::{GpuModel, KernelClass};
+use rwalk_repro::prelude::*;
+use twalk::{TransitionSampler, WalkConfig};
+
+fn main() {
+    let graph = tgraph::gen::erdos_renyi(20_000, 200_000, 5).build();
+    let opts = ProfileOptions::default();
+
+    // Instrumented replicas: same control flow, counted operations.
+    let walk_cfg = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(1);
+    let walk = profile_walk(&graph, &walk_cfg, &opts);
+    let bfs = profile_bfs(&graph, 0, &opts);
+
+    for p in [&walk, &bfs] {
+        let m = p.ops.mix();
+        println!(
+            "{:10} memory {:>5.1}%  branch {:>5.1}%  compute {:>5.1}%  other {:>5.1}%  | L1 {:.2} L2 {:.2} irregularity {:.2}",
+            p.name,
+            m.memory * 100.0,
+            m.branch * 100.0,
+            m.compute * 100.0,
+            m.other * 100.0,
+            p.l1_hit_rate,
+            p.l2_hit_rate,
+            p.irregularity
+        );
+    }
+    println!(
+        "\nthe walk kernel runs {:.1}x more floating-point work than BFS (Eq. 1's softmax)",
+        walk.ops.fp_fraction() / bfs.ops.fp_fraction().max(1e-9)
+    );
+
+    // GPU estimate for the walk kernel.
+    let gpu = GpuModel::ampere();
+    let est = gpu.estimate_profile(
+        &walk,
+        walk.work_scale(),
+        graph.num_nodes() as f64,
+        1.0,
+        graph.memory_bytes() as f64,
+    );
+    println!(
+        "\nmodeled GPU walk kernel: {:.2} ms total (compute {:.2} ms, memory {:.2} ms, transfer {:.2} ms), occupancy {:.2}",
+        est.total_us() / 1e3,
+        est.compute_us / 1e3,
+        est.memory_us / 1e3,
+        est.transfer_us / 1e3,
+        est.occupancy
+    );
+
+    // Stall attribution (Fig. 11).
+    let stalls = stall_breakdown(KernelClass::RandomWalk, &walk, est.occupancy);
+    println!("\nstall breakdown (dominant: {:?}):", stalls.dominant());
+    for (cat, frac) in stalls.as_slice() {
+        println!("  {cat:?}: {:.1}%", frac * 100.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rwalk-repro
+//!
+//! A workspace-level facade for the reproduction of *"A Deep Dive Into
+//! Understanding The Random Walk-Based Temporal Graph Learning"* (IISWC
+//! 2021). It re-exports every workspace crate under one roof so examples and
+//! integration tests can reach the whole system through a single dependency.
+//!
+//! The pipeline (paper Fig. 1):
+//!
+//! 1. [`tgraph`] — temporal graph substrate (CSR `WGraph` analog).
+//! 2. [`twalk`] — temporally-valid random walks (paper Algorithm 1).
+//! 3. [`embed`] — word2vec skip-gram-with-negative-sampling embeddings.
+//! 4. [`dataprep`] + [`nn`] — classifier data preparation and FNN
+//!    training/testing for link prediction and node classification.
+//!
+//! Supporting substrates: [`par`] (work-stealing loops), [`kernels`]
+//! (BFS/GCN/VGG contrast workloads), [`perfmodel`] (instruction-mix, cache
+//! and GPU execution models), [`datasets`] (real-data loaders plus synthetic
+//! stand-ins), and [`rwalk_core`] (the end-to-end pipeline API).
+//!
+//! # Examples
+//!
+//! ```
+//! use rwalk_repro::prelude::*;
+//!
+//! let graph = tgraph::gen::preferential_attachment(200, 3, 7).build();
+//! let hp = Hyperparams::paper_optimal();
+//! let report = Pipeline::new(hp).run_link_prediction(&graph).unwrap();
+//! assert!(report.metrics.accuracy > 0.5);
+//! ```
+
+pub use dataprep;
+pub use datasets;
+pub use embed;
+pub use kernels;
+pub use nn;
+pub use par;
+pub use perfmodel;
+pub use rwalk_core;
+pub use tgraph;
+pub use twalk;
+
+/// The paper's notation (Table I) mapped to this workspace's types.
+///
+/// | Paper symbol | Meaning | Here |
+/// |---|---|---|
+/// | `G(V, E)` | directed temporal network | [`tgraph::TemporalGraph`] |
+/// | `G_t(V_t, E_t)` | snapshot at time `t` | [`tgraph::TemporalGraph::snapshot_until`] |
+/// | `A`, `A_t` | adjacency matrices | [`kernels::normalized_adjacency`] (GCN) |
+/// | `w(u, v)` | temporal walk from `u` to `v` | rows of [`twalk::WalkSet`] |
+/// | `f` | base embedding method | [`embed::train`] (word2vec SGNS) |
+/// | `d` | embedding dimensionality | [`rwalk_core::Hyperparams::dim`] |
+/// | `Z` | `|V| × d` embedding matrix | [`embed::EmbeddingMatrix`] |
+/// | `K` | walks per node | [`rwalk_core::Hyperparams::walks_per_node`] |
+/// | `N` | walk length | [`rwalk_core::Hyperparams::walk_length`] |
+/// | `Pr[v|u]` (Eq. 1) | softmax transition probability | [`twalk::TransitionSampler::Softmax`] |
+pub mod notation {}
+
+/// Convenience prelude with the most frequently used items.
+pub mod prelude {
+    pub use dataprep;
+    pub use datasets;
+    pub use embed;
+    pub use kernels;
+    pub use nn;
+    pub use par;
+    pub use perfmodel;
+    pub use rwalk_core::{Backend, Hyperparams, Pipeline, TaskReport};
+    pub use tgraph;
+    pub use tgraph::TemporalGraph;
+    pub use twalk;
+}
