@@ -16,9 +16,7 @@ fn bench_pipeline_sized(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm/pipeline_64x16x64");
     group.bench_function("naive", |bch| bch.iter(|| black_box(matmul_naive(&a, &b))));
     group.bench_function("packed", |bch| bch.iter(|| black_box(matmul(&a, &b))));
-    group.bench_function("parallel", |bch| {
-        bch.iter(|| black_box(matmul_parallel(&a, &b, &par)))
-    });
+    group.bench_function("parallel", |bch| bch.iter(|| black_box(matmul_parallel(&a, &b, &par))));
     group.finish();
 }
 
@@ -31,9 +29,7 @@ fn bench_vgg_sized(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("naive", |bch| bch.iter(|| black_box(matmul_naive(&a, &b))));
     group.bench_function("packed", |bch| bch.iter(|| black_box(matmul(&a, &b))));
-    group.bench_function("parallel", |bch| {
-        bch.iter(|| black_box(matmul_parallel(&a, &b, &par)))
-    });
+    group.bench_function("parallel", |bch| bch.iter(|| black_box(matmul_parallel(&a, &b, &par))));
     group.finish();
 }
 

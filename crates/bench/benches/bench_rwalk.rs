@@ -10,9 +10,7 @@ use std::hint::black_box;
 use twalk::{generate_walks, TransitionSampler, WalkConfig};
 
 fn bench_walks_per_node(c: &mut Criterion) {
-    let g = tgraph::gen::preferential_attachment(10_000, 3, 1)
-        .undirected(true)
-        .build();
+    let g = tgraph::gen::preferential_attachment(10_000, 3, 1).undirected(true).build();
     let par = ParConfig::default();
     let mut group = c.benchmark_group("rwalk/walks_per_node");
     group.sample_size(10);
@@ -26,9 +24,7 @@ fn bench_walks_per_node(c: &mut Criterion) {
 }
 
 fn bench_sampler(c: &mut Criterion) {
-    let g = tgraph::gen::preferential_attachment(10_000, 3, 2)
-        .undirected(true)
-        .build();
+    let g = tgraph::gen::preferential_attachment(10_000, 3, 2).undirected(true).build();
     let par = ParConfig::default();
     let mut group = c.benchmark_group("rwalk/sampler");
     group.sample_size(10);
@@ -39,6 +35,28 @@ fn bench_sampler(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             let cfg = WalkConfig::new(10, 6).sampler(sampler).seed(2);
+            b.iter(|| black_box(generate_walks(&g, &cfg, &par)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler_high_degree(c: &mut Criterion) {
+    // High-degree regime where per-step sampling cost dominates: PA with
+    // m = 16 made undirected gives mean degree ~= 32, so the biased
+    // samplers do real work per transition.
+    let g = tgraph::gen::preferential_attachment(20_000, 16, 7).undirected(true).build();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("rwalk/sampler_high_degree");
+    group.sample_size(10);
+    for (name, sampler) in [
+        ("uniform", TransitionSampler::Uniform),
+        ("softmax", TransitionSampler::Softmax),
+        ("softmax_recency", TransitionSampler::SoftmaxRecency),
+        ("linear", TransitionSampler::LinearTime),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = WalkConfig::new(10, 8).sampler(sampler).seed(7);
             b.iter(|| black_box(generate_walks(&g, &cfg, &par)));
         });
     }
@@ -63,12 +81,9 @@ fn bench_neighbor_lookup(c: &mut Criterion) {
     // Ablation: binary search vs the paper Algorithm 1's O(M) linear scan
     // in `sampleLatest` — the reason the implementation keeps adjacency
     // timestamp-sorted.
-    let g = tgraph::gen::preferential_attachment(20_000, 4, 4)
-        .undirected(true)
-        .build();
-    let queries: Vec<(u32, f64)> = (0..4_096u32)
-        .map(|i| ((i * 37) % g.num_nodes() as u32, (i as f64 * 0.13) % 1.0))
-        .collect();
+    let g = tgraph::gen::preferential_attachment(20_000, 4, 4).undirected(true).build();
+    let queries: Vec<(u32, f64)> =
+        (0..4_096u32).map(|i| ((i * 37) % g.num_nodes() as u32, (i as f64 * 0.13) % 1.0)).collect();
     let mut group = c.benchmark_group("rwalk/neighbor_lookup");
     group.bench_function("binary_search", |b| {
         b.iter(|| {
@@ -95,6 +110,7 @@ criterion_group!(
     benches,
     bench_walks_per_node,
     bench_sampler,
+    bench_sampler_high_degree,
     bench_graph_size,
     bench_neighbor_lookup
 );

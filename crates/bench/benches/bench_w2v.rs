@@ -8,9 +8,7 @@ use std::hint::black_box;
 use twalk::{generate_walks, WalkConfig};
 
 fn corpus() -> (twalk::WalkSet, usize) {
-    let g = tgraph::gen::preferential_attachment(5_000, 3, 5)
-        .undirected(true)
-        .build();
+    let g = tgraph::gen::preferential_attachment(5_000, 3, 5).undirected(true).build();
     let walks = generate_walks(&g, &WalkConfig::new(5, 6).seed(1), &ParConfig::default());
     (walks, g.num_nodes())
 }
@@ -40,11 +38,8 @@ fn bench_layout_reduction(c: &mut Criterion) {
         ("packed_chunked", Layout::Packed, Reduction::Chunked),
     ] {
         group.bench_function(name, |b| {
-            let cfg = Word2VecConfig::default()
-                .epochs(1)
-                .seed(3)
-                .layout(layout)
-                .reduction(reduction);
+            let cfg =
+                Word2VecConfig::default().epochs(1).seed(3).layout(layout).reduction(reduction);
             b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, usize::MAX)));
         });
     }
@@ -82,11 +77,5 @@ fn bench_locking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_batch_size,
-    bench_layout_reduction,
-    bench_dim,
-    bench_locking
-);
+criterion_group!(benches, bench_batch_size, bench_layout_reduction, bench_dim, bench_locking);
 criterion_main!(benches);

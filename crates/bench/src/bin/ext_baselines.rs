@@ -27,12 +27,8 @@ fn main() {
     println!("|---|---|---|---|---|");
     for d in &datasets {
         for (name, strategy) in strategies {
-            let hp = Hyperparams::paper_optimal()
-                .with_seed(17)
-                .with_strategy(strategy);
-            let report = Pipeline::new(hp)
-                .run_link_prediction(&d.graph)
-                .expect("dataset is valid");
+            let hp = Hyperparams::paper_optimal().with_seed(17).with_strategy(strategy);
+            let report = Pipeline::new(hp).run_link_prediction(&d.graph).expect("dataset is valid");
             println!(
                 "| {} | {name} | {:.3} | {:.3} | {:.3} |",
                 d.name,

@@ -36,7 +36,8 @@ fn main() {
             .expect("valid dataset");
         let rw_time = t0.elapsed().as_secs_f64();
         // State: embedding table + the fixed-size classifier.
-        let rw_state = n * hp.dim + (hp.dim * hp.hidden + hp.hidden * hp.hidden + hp.hidden * classes);
+        let rw_state =
+            n * hp.dim + (hp.dim * hp.hidden + hp.hidden * hp.hidden + hp.hidden * classes);
         println!(
             "| {} | random-walk pipeline | {:.3} | {rw_time:.2} | {rw_state} |",
             d.name, report.metrics.accuracy

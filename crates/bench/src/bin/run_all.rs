@@ -31,9 +31,7 @@ fn main() {
     let mut failures = Vec::new();
     for bin in BINS {
         println!("\n################ {bin} ################\n");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&scale)
-            .status();
+        let status = Command::new(exe_dir.join(bin)).args(&scale).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -17,10 +17,7 @@ fn main() {
 
     // Paper: |V| = 1M fixed, |E| swept. Scaled default: 40k vertices.
     let n = ((40_000.0 * scale) as usize).max(2_000);
-    let edge_counts: Vec<usize> = [1usize, 2, 5, 10, 20, 50]
-        .iter()
-        .map(|&m| n * m / 2)
-        .collect();
+    let edge_counts: Vec<usize> = [1usize, 2, 5, 10, 20, 50].iter().map(|&m| n * m / 2).collect();
 
     let hp = Hyperparams::paper_optimal().quick_test().with_seed(7);
 
@@ -31,9 +28,7 @@ fn main() {
     let opts = ProfileOptions::default();
     for &m in &edge_counts {
         let g = tgraph::gen::erdos_renyi(n, m, 33).build();
-        let cpu = Pipeline::new(hp.clone())
-            .run_link_prediction(&g)
-            .expect("cpu run");
+        let cpu = Pipeline::new(hp.clone()).run_link_prediction(&g).expect("cpu run");
         let gpu = Pipeline::new(hp.clone())
             .with_backend(Backend::GpuModel(GpuModel::ampere()))
             .run_link_prediction(&g)
@@ -50,7 +45,8 @@ fn main() {
         let w2v_server = server.estimate_secs(&w2v_p, 128);
         let rwalk_gpu = gt.rwalk.as_secs_f64();
         let w2v_gpu = gt.word2vec.as_secs_f64();
-        let winner = if rwalk_server + w2v_server <= rwalk_gpu + w2v_gpu { "CPU-128" } else { "GPU" };
+        let winner =
+            if rwalk_server + w2v_server <= rwalk_gpu + w2v_gpu { "CPU-128" } else { "GPU" };
         println!(
             "| {m} | {} | {rwalk_server:.4} | {} | {} | {w2v_server:.4} | {} | {} | {} | {} | {} | {winner} |",
             rwalk_bench::secs(c.rwalk),

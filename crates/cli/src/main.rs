@@ -4,15 +4,23 @@
 //! rwalk datasets [--scale S]
 //! rwalk linkpred  [--dataset NAME | --wel FILE] [--scale S] [--walks K]
 //!                 [--len N] [--dim D] [--threads T] [--gpu] [--seed X]
+//!                 [--sampler uniform|softmax|recency|linear] [--static]
 //! rwalk nodeclass [--dataset NAME] [--scale S] [--walks K] [--len N]
 //!                 [--dim D] [--threads T] [--gpu] [--seed X]
+//!                 [--sampler uniform|softmax|recency|linear] [--static]
 //! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
 //! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
 //! ```
+//!
+//! `--sampler` selects the walk transition bias (default `softmax`, the
+//! paper's Eq. 1); `--static` ignores timestamps entirely — the static
+//! DeepWalk baseline. `--scale`, `--walks`, `--len`, and `--dim` must be
+//! positive.
 
 use std::process::ExitCode;
 
-use rwalk_core::{Backend, Hyperparams, Pipeline};
+use rwalk_core::{Backend, EmbeddingStrategy, Hyperparams, Pipeline};
+use twalk::TransitionSampler;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +62,8 @@ struct Options {
     threads: usize,
     seed: u64,
     gpu: bool,
+    sampler: TransitionSampler,
+    static_walks: bool,
 }
 
 impl Options {
@@ -68,6 +78,8 @@ impl Options {
             threads: 0,
             seed: 42,
             gpu: false,
+            sampler: TransitionSampler::Softmax,
+            static_walks: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -77,8 +89,12 @@ impl Options {
             match flag.as_str() {
                 "--dataset" => o.dataset = val("--dataset")?,
                 "--wel" => o.wel = Some(val("--wel")?),
-                "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-                "--walks" => o.walks = val("--walks")?.parse().map_err(|e| format!("--walks: {e}"))?,
+                "--scale" => {
+                    o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+                }
+                "--walks" => {
+                    o.walks = val("--walks")?.parse().map_err(|e| format!("--walks: {e}"))?
+                }
                 "--len" => o.len = val("--len")?.parse().map_err(|e| format!("--len: {e}"))?,
                 "--dim" => o.dim = val("--dim")?.parse().map_err(|e| format!("--dim: {e}"))?,
                 "--threads" => {
@@ -86,19 +102,45 @@ impl Options {
                 }
                 "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--gpu" => o.gpu = true,
+                "--sampler" => {
+                    o.sampler = val("--sampler")?.parse().map_err(|e| format!("--sampler: {e}"))?
+                }
+                "--static" => o.static_walks = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
+        }
+        // Zero values would make the pipeline panic deep inside (or
+        // degenerate into an empty dataset); reject them here with flag
+        // names attached.
+        if !(o.scale.is_finite() && o.scale > 0.0) {
+            return Err(format!("--scale must be a positive number, got {}", o.scale));
+        }
+        if o.walks == 0 {
+            return Err("--walks must be at least 1".into());
+        }
+        if o.len == 0 {
+            return Err("--len must be at least 1".into());
+        }
+        if o.dim == 0 {
+            return Err("--dim must be at least 1".into());
         }
         Ok(o)
     }
 
     fn hyperparams(&self) -> Hyperparams {
+        let strategy = if self.static_walks {
+            EmbeddingStrategy::StaticDeepWalk
+        } else {
+            EmbeddingStrategy::TemporalWalks
+        };
         Hyperparams::paper_optimal()
             .with_walks_per_node(self.walks)
             .with_walk_length(self.len)
             .with_dim(self.dim)
             .with_threads(self.threads)
             .with_seed(self.seed)
+            .with_sampler(self.sampler)
+            .with_strategy(strategy)
     }
 
     fn pipeline(&self) -> Pipeline {
@@ -135,12 +177,7 @@ fn cmd_datasets(o: &Options) -> Result<(), String> {
 
 fn cmd_linkpred(o: &Options) -> Result<(), String> {
     let d = o.named_dataset()?;
-    println!(
-        "dataset {} ({} nodes, {} edges)",
-        d.name,
-        d.graph.num_nodes(),
-        d.graph.num_edges()
-    );
+    println!("dataset {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
     let report = o.pipeline().run_link_prediction(&d.graph).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
     Ok(())
@@ -159,10 +196,8 @@ fn cmd_nodeclass(o: &Options) -> Result<(), String> {
         d.graph.num_edges(),
         d.num_classes()
     );
-    let report = o
-        .pipeline()
-        .run_node_classification(&d.graph, labels)
-        .map_err(|e| e.to_string())?;
+    let report =
+        o.pipeline().run_node_classification(&d.graph, labels).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
     Ok(())
 }
@@ -173,15 +208,9 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     println!("| K | N | d | accuracy | AUC |");
     println!("|---|---|---|---|---|");
     for (k, n, dim) in [(1, 6, 8), (5, 6, 8), (10, 6, 8), (10, 2, 8), (10, 6, 2), (10, 6, 16)] {
-        let hp = o
-            .hyperparams()
-            .with_walks_per_node(k)
-            .with_walk_length(n)
-            .with_dim(dim)
-            .quick_test();
-        let report = Pipeline::new(hp)
-            .run_link_prediction(&d.graph)
-            .map_err(|e| e.to_string())?;
+        let hp =
+            o.hyperparams().with_walks_per_node(k).with_walk_length(n).with_dim(dim).quick_test();
+        let report = Pipeline::new(hp).run_link_prediction(&d.graph).map_err(|e| e.to_string())?;
         println!(
             "| {k} | {n} | {dim} | {:.3} | {:.3} |",
             report.metrics.accuracy,
@@ -200,19 +229,18 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
 
     let d = o.named_dataset()?;
     let hp = o.hyperparams();
-    println!(
-        "profiling {} ({} nodes, {} edges)",
-        d.name,
-        d.graph.num_nodes(),
-        d.graph.num_edges()
-    );
+    println!("profiling {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
     let opts = ProfileOptions::default();
     let walk_cfg = hp.walk_config();
     let walks = twalk::generate_walks(&d.graph, &walk_cfg, &hp.par_config());
     let gpu = GpuModel::ampere();
 
     let profiles = [
-        (KernelClass::RandomWalk, profile_walk(&d.graph, &walk_cfg, &opts), d.graph.num_nodes() as f64),
+        (
+            KernelClass::RandomWalk,
+            profile_walk(&d.graph, &walk_cfg, &opts),
+            d.graph.num_nodes() as f64,
+        ),
         (
             KernelClass::Word2Vec,
             profile_word2vec(&walks, hp.dim, hp.window, hp.negatives, d.graph.num_nodes(), &opts),
@@ -230,13 +258,13 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
         ),
     ];
 
-    println!("| kernel | memory % | branch % | compute % | other % | irregularity | dominant stall |");
+    println!(
+        "| kernel | memory % | branch % | compute % | other % | irregularity | dominant stall |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for (class, p, parallelism) in &profiles {
         let mix = p.ops.mix();
-        let occ = gpu
-            .estimate_profile(p, p.work_scale(), *parallelism, 1.0, 0.0)
-            .occupancy;
+        let occ = gpu.estimate_profile(p, p.work_scale(), *parallelism, 1.0, 0.0).occupancy;
         let stalls = stall_breakdown(*class, p, occ);
         println!(
             "| {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:?} |",

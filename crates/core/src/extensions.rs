@@ -76,8 +76,8 @@ impl Pipeline {
         let ratios = SplitRatios::default();
         let mut edges = labeled_edges.to_vec();
         edges.sort_by(|a, b| a.edge.time.partial_cmp(&b.edge.time).expect("finite times"));
-        let test_count = ((edges.len() as f64 * ratios.test).round() as usize)
-            .clamp(1, edges.len() - 2);
+        let test_count =
+            ((edges.len() as f64 * ratios.test).round() as usize).clamp(1, edges.len() - 2);
         let test = edges.split_off(edges.len() - test_count);
         let mut rng = StdRng::seed_from_u64(hp.seed ^ 0x11F);
         edges.shuffle(&mut rng);
@@ -90,8 +90,7 @@ impl Pipeline {
             let mut x = Tensor2::zeros(set.len(), 2 * hp.dim);
             let mut y = Vec::with_capacity(set.len());
             for (i, le) in set.iter().enumerate() {
-                x.row_mut(i)
-                    .copy_from_slice(&emb.edge_feature(le.edge.src, le.edge.dst));
+                x.row_mut(i).copy_from_slice(&emb.edge_feature(le.edge.src, le.edge.dst));
                 y.push(le.label as usize);
             }
             (x, y)
@@ -128,6 +127,7 @@ impl Pipeline {
                 test: test_time,
             },
             walk_stats,
+            sampler_build: walks.sampler_stats(),
             epochs_run: train_report.epochs.len(),
             backend: "cpu",
         })
@@ -162,10 +162,8 @@ mod tests {
     #[test]
     fn sparse_edge_class_is_rejected() {
         let g = tgraph::gen::erdos_renyi(100, 1_000, 1).build();
-        let mut labeled: Vec<LabeledEdge> = g
-            .edges()
-            .map(|e| LabeledEdge { edge: e, label: 0 })
-            .collect();
+        let mut labeled: Vec<LabeledEdge> =
+            g.edges().map(|e| LabeledEdge { edge: e, label: 0 }).collect();
         labeled[0].label = 1;
         let err = Pipeline::new(Hyperparams::paper_optimal())
             .run_link_property_prediction(&g, &labeled)
@@ -176,11 +174,8 @@ mod tests {
     #[test]
     fn too_few_labeled_edges_rejected() {
         let g = tgraph::gen::erdos_renyi(100, 1_000, 2).build();
-        let labeled: Vec<LabeledEdge> = g
-            .edges()
-            .take(5)
-            .map(|e| LabeledEdge { edge: e, label: 0 })
-            .collect();
+        let labeled: Vec<LabeledEdge> =
+            g.edges().take(5).map(|e| LabeledEdge { edge: e, label: 0 }).collect();
         let err = Pipeline::new(Hyperparams::paper_optimal())
             .run_link_property_prediction(&g, &labeled)
             .unwrap_err();

@@ -167,6 +167,13 @@ impl Hyperparams {
         self
     }
 
+    /// Sets the walk transition sampler.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: TransitionSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
     /// Sets the embedding strategy (paper method vs baselines).
     #[must_use]
     pub fn with_strategy(mut self, strategy: EmbeddingStrategy) -> Self {

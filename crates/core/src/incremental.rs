@@ -8,7 +8,8 @@
 //!
 //! 1. ingest edge batches into a [`tgraph::dynamic::DynamicGraph`];
 //! 2. re-walk only the *dirty* vertices (those whose neighborhoods
-//!    changed) with [`twalk::generate_walks_from`];
+//!    changed) with [`twalk::generate_walks_from_prepared`], sharing one
+//!    prepared sampler across the batch;
 //! 3. fine-tune the existing embeddings on the fresh walks with
 //!    [`embed::train_from`] (warm start), leaving untouched vertices'
 //!    vectors in place.
@@ -30,7 +31,7 @@
 use embed::EmbeddingMatrix;
 use tgraph::dynamic::DynamicGraph;
 use tgraph::{TemporalEdge, TemporalGraph};
-use twalk::generate_walks_from;
+use twalk::{generate_walks_from_prepared, generate_walks_prepared};
 
 use crate::Hyperparams;
 
@@ -48,12 +49,7 @@ impl IncrementalEmbedder {
     /// considered dirty, so the first [`refresh`](Self::refresh) is a full
     /// build).
     pub fn new(hp: Hyperparams, base: &TemporalGraph) -> Self {
-        Self {
-            hp,
-            graph: DynamicGraph::from_graph(base),
-            emb: None,
-            refreshes: 0,
-        }
+        Self { hp, graph: DynamicGraph::from_graph(base), emb: None, refreshes: 0 }
     }
 
     /// Appends a batch of temporal edges.
@@ -89,14 +85,10 @@ impl IncrementalEmbedder {
 
         match self.emb.take() {
             None => {
-                let walks = twalk::generate_walks(&csr, &walk_cfg, &par);
+                let sampler = walk_cfg.sampler.prepare(&csr);
+                let walks = generate_walks_prepared(&csr, &walk_cfg, &sampler, &par);
                 self.graph.take_dirty();
-                self.emb = Some(embed::train(
-                    &walks,
-                    csr.num_nodes(),
-                    &self.hp.w2v_config(),
-                    &par,
-                ));
+                self.emb = Some(embed::train(&walks, csr.num_nodes(), &self.hp.w2v_config(), &par));
             }
             Some(current) => {
                 let dirty = self.graph.take_dirty();
@@ -105,7 +97,11 @@ impl IncrementalEmbedder {
                     self.refreshes += 1;
                     return self.emb.as_ref().expect("just set");
                 }
-                let walks = generate_walks_from(&csr, &walk_cfg, &dirty, &par);
+                // The CSR changes between refreshes, so the CDF tables must
+                // be rebuilt — but one build now covers every dirty vertex's
+                // walks instead of paying direct evaluation per step.
+                let sampler = walk_cfg.sampler.prepare(&csr);
+                let walks = generate_walks_from_prepared(&csr, &walk_cfg, &sampler, &dirty, &par);
                 if walks.num_walks() == 0 {
                     // Vocabulary grew without any dirty walk sources; just
                     // extend the table with fresh vectors via a no-op
@@ -113,11 +109,8 @@ impl IncrementalEmbedder {
                     // fall back to keeping vectors and padding.
                     let mut data = current.as_slice().to_vec();
                     data.resize(csr.num_nodes() * current.dim(), 0.0);
-                    self.emb = Some(EmbeddingMatrix::from_vec(
-                        csr.num_nodes(),
-                        current.dim(),
-                        data,
-                    ));
+                    self.emb =
+                        Some(EmbeddingMatrix::from_vec(csr.num_nodes(), current.dim(), data));
                 } else {
                     // Fine-tune at a reduced learning rate: the goal is to
                     // absorb the new structure without tearing up the
@@ -125,13 +118,8 @@ impl IncrementalEmbedder {
                     let mut cfg = self.hp.w2v_config();
                     cfg.initial_lr *= 0.5;
                     cfg.epochs = cfg.epochs.max(1);
-                    self.emb = Some(embed::train_from(
-                        &walks,
-                        csr.num_nodes(),
-                        &current,
-                        &cfg,
-                        &par,
-                    ));
+                    self.emb =
+                        Some(embed::train_from(&walks, csr.num_nodes(), &current, &cfg, &par));
                 }
             }
         }
@@ -145,10 +133,7 @@ mod tests {
     use super::*;
 
     fn base_graph() -> TemporalGraph {
-        tgraph::gen::temporal_sbm(200, 2, 4_000, 0.92, 6)
-            .builder
-            .undirected(true)
-            .build()
+        tgraph::gen::temporal_sbm(200, 2, 4_000, 0.92, 6).builder.undirected(true).build()
     }
 
     #[test]
@@ -173,19 +158,15 @@ mod tests {
     #[test]
     fn incremental_refresh_only_moves_touched_vectors() {
         let g = base_graph();
-        let mut inc = IncrementalEmbedder::new(
-            Hyperparams::paper_optimal().quick_test().with_threads(1),
-            &g,
-        );
+        let mut inc =
+            IncrementalEmbedder::new(Hyperparams::paper_optimal().quick_test().with_threads(1), &g);
         let before = inc.refresh().clone();
         inc.ingest([TemporalEdge::new(0, 1, 2.0), TemporalEdge::new(1, 2, 2.1)]);
         assert_eq!(inc.pending_dirty(), 3);
         let after = inc.refresh().clone();
         // Walks from {0, 1, 2} visit a bounded neighborhood; most vertices
         // must be untouched.
-        let moved = (0..g.num_nodes() as u32)
-            .filter(|&v| after.get(v) != before.get(v))
-            .count();
+        let moved = (0..g.num_nodes() as u32).filter(|&v| after.get(v) != before.get(v)).count();
         assert!(moved > 0, "no vector moved at all");
         assert!(
             moved < g.num_nodes() / 2,

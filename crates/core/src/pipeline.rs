@@ -10,7 +10,7 @@ use perfmodel::profile::{
 };
 use perfmodel::GpuModel;
 use tgraph::TemporalGraph;
-use twalk::{generate_walks, WalkSet};
+use twalk::{generate_walks_prepared, WalkSet};
 
 use crate::{Hyperparams, PhaseTimes, PipelineError, TaskKind, TaskMetrics, TaskReport};
 
@@ -74,10 +74,14 @@ impl Pipeline {
         let par = self.hp.par_config();
         match self.hp.strategy {
             crate::EmbeddingStrategy::TemporalWalks => {
-                generate_walks(g, &self.hp.walk_config(), &par)
+                let cfg = self.hp.walk_config();
+                let sampler = cfg.sampler.prepare(g);
+                generate_walks_prepared(g, &cfg, &sampler, &par)
             }
             crate::EmbeddingStrategy::StaticDeepWalk => {
-                generate_walks(g, &self.hp.walk_config().respect_time(false), &par)
+                let cfg = self.hp.walk_config().respect_time(false);
+                let sampler = cfg.sampler.prepare(g);
+                generate_walks_prepared(g, &cfg, &sampler, &par)
             }
             crate::EmbeddingStrategy::SnapshotDeepWalk { snapshots } => {
                 let snapshots = snapshots.max(1);
@@ -91,7 +95,10 @@ impl Pipeline {
                         .sampler(self.hp.sampler)
                         .seed(self.hp.seed.wrapping_add(s as u64))
                         .respect_time(false);
-                    let walks = generate_walks(&snap, &cfg, &par);
+                    // Each snapshot is its own graph, so each needs its own
+                    // prepared sampler.
+                    let sampler = cfg.sampler.prepare(&snap);
+                    let walks = generate_walks_prepared(&snap, &cfg, &sampler, &par);
                     all.extend(walks.iter().map(<[tgraph::NodeId]>::to_vec));
                 }
                 WalkSet::from_walks(&all, self.hp.walk_length)
@@ -142,7 +149,8 @@ impl Pipeline {
         let mut dims = vec![2 * self.hp.dim];
         dims.extend(std::iter::repeat_n(self.hp.hidden, 1 + self.hp.extra_hidden_layers));
         dims.push(1);
-        let mut mlp = Mlp::new(&dims, OutputHead::Binary, self.hp.seed).with_residual(self.hp.residual);
+        let mut mlp =
+            Mlp::new(&dims, OutputHead::Binary, self.hp.seed).with_residual(self.hp.residual);
         let trainer = Trainer::new(self.hp.train_options());
         let train_report = trainer.fit_binary(
             &mut mlp,
@@ -187,14 +195,10 @@ impl Pipeline {
 
         Ok(TaskReport {
             task: TaskKind::LinkPrediction,
-            metrics: TaskMetrics {
-                accuracy,
-                auc: Some(auc),
-                macro_f1: None,
-                final_train_loss,
-            },
+            metrics: TaskMetrics { accuracy, auc: Some(auc), macro_f1: None, final_train_loss },
             phase_times,
             walk_stats,
+            sampler_build: walks.sampler_stats(),
             epochs_run,
             backend,
         })
@@ -244,7 +248,8 @@ impl Pipeline {
         let w2v_time = t0.elapsed();
 
         let t0 = Instant::now();
-        let data = node_classification_data(&emb, labels, SplitRatios::default(), self.hp.seed ^ 0x5E1);
+        let data =
+            node_classification_data(&emb, labels, SplitRatios::default(), self.hp.seed ^ 0x5E1);
         let prep_time = t0.elapsed();
 
         // 3-layer FNN, NLL loss over |C| outputs; extra hidden layers
@@ -306,6 +311,7 @@ impl Pipeline {
             },
             phase_times,
             walk_stats,
+            sampler_build: walks.sampler_stats(),
             epochs_run,
             backend,
         })
@@ -330,13 +336,8 @@ impl Pipeline {
 
         // RW-P1: one launch, per-vertex parallelism, graph upload.
         let wp = profile_walk(g, &self.hp.walk_config(), &opts);
-        let walk_est = gpu.estimate_profile(
-            &wp,
-            wp.work_scale(),
-            g.num_nodes() as f64,
-            1.0,
-            bytes_graph,
-        );
+        let walk_est =
+            gpu.estimate_profile(&wp, wp.work_scale(), g.num_nodes() as f64, 1.0, bytes_graph);
 
         // RW-P2: batched word2vec — one launch per 16k-sentence batch
         // (the paper's optimal batch size), corpus upload.
@@ -395,9 +396,7 @@ mod tests {
     use super::*;
 
     fn lp_graph() -> TemporalGraph {
-        tgraph::gen::preferential_attachment(500, 3, 2)
-            .undirected(true)
-            .build()
+        tgraph::gen::preferential_attachment(500, 3, 2).undirected(true).build()
     }
 
     #[test]
@@ -436,12 +435,8 @@ mod tests {
 
     #[test]
     fn tiny_graph_is_rejected() {
-        let g = tgraph::GraphBuilder::new()
-            .add_edge(tgraph::TemporalEdge::new(0, 1, 0.5))
-            .build();
-        let err = Pipeline::new(Hyperparams::paper_optimal())
-            .run_link_prediction(&g)
-            .unwrap_err();
+        let g = tgraph::GraphBuilder::new().add_edge(tgraph::TemporalEdge::new(0, 1, 0.5)).build();
+        let err = Pipeline::new(Hyperparams::paper_optimal()).run_link_prediction(&g).unwrap_err();
         assert!(matches!(err, PipelineError::GraphTooSmall { .. }));
     }
 

@@ -79,6 +79,9 @@ pub struct TaskReport {
     pub phase_times: PhaseTimes,
     /// Walk-length distribution of the generated corpus (Fig. 4 data).
     pub walk_stats: twalk::stats::WalkLengthStats,
+    /// Build cost of the prepared transition sampler (CDF tables), when
+    /// the corpus came from the bulk walk kernel.
+    pub sampler_build: Option<twalk::SamplerBuildStats>,
     /// Classifier epochs actually run (early stop may cut them short).
     pub epochs_run: usize,
     /// `"cpu"` or `"gpu-model"`.
@@ -89,10 +92,8 @@ impl TaskReport {
     /// One-paragraph human-readable summary.
     pub fn summary(&self) -> String {
         let t = &self.phase_times;
-        let mut s = format!(
-            "{} [{}]: accuracy {:.3}",
-            self.task, self.backend, self.metrics.accuracy
-        );
+        let mut s =
+            format!("{} [{}]: accuracy {:.3}", self.task, self.backend, self.metrics.accuracy);
         if let Some(auc) = self.metrics.auc {
             s.push_str(&format!(", AUC {auc:.3}"));
         }
@@ -109,6 +110,15 @@ impl TaskReport {
             t.train_per_epoch.as_secs_f64(),
             t.test.as_secs_f64(),
         ));
+        if let Some(b) = self.sampler_build {
+            if b.table_bytes > 0 {
+                s.push_str(&format!(
+                    " | sampler tables {:.1} KiB built in {:.4}s",
+                    b.table_bytes as f64 / 1024.0,
+                    b.build_time.as_secs_f64(),
+                ));
+            }
+        }
         s
     }
 }

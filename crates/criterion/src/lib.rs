@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after one warm-up iteration, each
+//! benchmark runs `sample_size` timed iterations and reports min / mean /
+//! max wall-clock time. Two CLI conventions of the real harness are
+//! honored so CI scripts work unchanged:
+//!
+//! * `--test` runs every benchmark exactly once (smoke mode);
+//! * a positional argument filters benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-iteration timing hook handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (one warm-up
+    /// iteration first).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry and CLI-driven runner.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filter: None, test_mode: false, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies the harness CLI conventions (`--test`, positional filter);
+    /// unknown flags are ignored for compatibility with cargo-bench
+    /// plumbing.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    fn run(&self, full_name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.test_mode { 1 } else { sample_size };
+        let mut b = Bencher { samples, times: Vec::new() };
+        f(&mut b);
+        if b.times.is_empty() {
+            println!("{full_name:<48} (no samples)");
+            return;
+        }
+        let min = b.times.iter().min().copied().unwrap_or_default();
+        let max = b.times.iter().max().copied().unwrap_or_default();
+        let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+        println!(
+            "{full_name:<48} time: [{} {} {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            b.times.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(&full, samples, f);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; no cleanup needed).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a runner function executing the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary from [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let c = Criterion { filter: None, test_mode: false, sample_size: 4 };
+        let mut ran = 0usize;
+        c.run("t/inc", 4, |b| {
+            b.iter(|| ran += 1);
+        });
+        // One warm-up plus four timed iterations.
+        assert_eq!(ran, 5);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion { filter: Some("other".into()), test_mode: false, sample_size: 4 };
+        c.run("t/skipped", 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

@@ -56,10 +56,7 @@ impl SplitRatios {
     /// more than 1e-6.
     pub fn new(train: f64, valid: f64, test: f64) -> Self {
         assert!(train > 0.0 && valid > 0.0 && test > 0.0, "ratios must be positive");
-        assert!(
-            ((train + valid + test) - 1.0).abs() < 1e-6,
-            "ratios must sum to 1"
-        );
+        assert!(((train + valid + test) - 1.0).abs() < 1e-6, "ratios must sum to 1");
         Self { train, valid, test }
     }
 }
@@ -116,23 +113,22 @@ pub fn temporal_edge_split(g: &TemporalGraph, ratios: SplitRatios, seed: u64) ->
 
     // (1) Sort by timestamp; (2) temporal tail becomes the test set.
     edges.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
-    let test_count = ((edges.len() as f64 * ratios.test).round() as usize)
-        .clamp(1, edges.len() - 2);
+    let test_count =
+        ((edges.len() as f64 * ratios.test).round() as usize).clamp(1, edges.len() - 2);
     let head_count = edges.len() - test_count;
     let test_pos = edges.split_off(head_count);
 
     // (3) Random train/valid partition of the head, sized as fractions of
     // the total edge count.
     edges.shuffle(&mut rng);
-    let train_count = ((g.num_edges() as f64 * ratios.train).round() as usize)
-        .clamp(1, edges.len() - 1);
+    let train_count =
+        ((g.num_edges() as f64 * ratios.train).round() as usize).clamp(1, edges.len() - 1);
     let valid_pos = edges.split_off(train_count);
     let train_pos = edges;
 
     // (4) Negative sampling — corrupt endpoints until the pair is absent
     // from the *input graph* (any timestamp) and unseen among negatives.
-    let existing: HashSet<(NodeId, NodeId)> =
-        g.edges().map(|e| (e.src, e.dst)).collect();
+    let existing: HashSet<(NodeId, NodeId)> = g.edges().map(|e| (e.src, e.dst)).collect();
     let mut used: HashSet<(NodeId, NodeId)> = HashSet::new();
     let n = g.num_nodes() as NodeId;
     let mut sample_negatives = |count: usize, rng: &mut StdRng| -> Vec<(NodeId, NodeId)> {
@@ -240,16 +236,12 @@ pub fn node_classification_data(
     let mut valid_idx = Vec::new();
     let mut test_idx = Vec::new();
     for c in 0..num_classes as u16 {
-        let mut members: Vec<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|&(_, &l)| l == c)
-            .map(|(i, _)| i)
-            .collect();
+        let mut members: Vec<usize> =
+            labels.iter().enumerate().filter(|&(_, &l)| l == c).map(|(i, _)| i).collect();
         assert!(members.len() >= 3, "class {c} has fewer than 3 members");
         members.shuffle(&mut rng);
-        let n_test = ((members.len() as f64 * ratios.test).round() as usize)
-            .clamp(1, members.len() - 2);
+        let n_test =
+            ((members.len() as f64 * ratios.test).round() as usize).clamp(1, members.len() - 2);
         let n_valid = ((members.len() as f64 * ratios.valid).round() as usize)
             .clamp(1, members.len() - n_test - 1);
         test_idx.extend(members.drain(..n_test));
@@ -278,9 +270,8 @@ mod tests {
 
     fn embedding_for(n: usize) -> EmbeddingMatrix {
         // Arbitrary deterministic embedding: e(v) = [v, v^2 mod 7] scaled.
-        let data: Vec<f32> = (0..n)
-            .flat_map(|v| [v as f32 / n as f32, ((v * v) % 7) as f32 / 7.0])
-            .collect();
+        let data: Vec<f32> =
+            (0..n).flat_map(|v| [v as f32 / n as f32, ((v * v) % 7) as f32 / 7.0]).collect();
         EmbeddingMatrix::from_vec(n, 2, data)
     }
 
@@ -300,12 +291,8 @@ mod tests {
     fn test_set_is_temporal_tail() {
         let g = tgraph::gen::erdos_renyi(100, 1_000, 3).build();
         let s = temporal_edge_split(&g, SplitRatios::default(), 2);
-        let head_max = s
-            .train_pos
-            .iter()
-            .chain(&s.valid_pos)
-            .map(|e| e.time)
-            .fold(f64::MIN, f64::max);
+        let head_max =
+            s.train_pos.iter().chain(&s.valid_pos).map(|e| e.time).fold(f64::MIN, f64::max);
         let tail_min = s.test_pos.iter().map(|e| e.time).fold(f64::MAX, f64::min);
         assert!(head_max <= tail_min, "head {head_max} > tail {tail_min}");
     }
@@ -326,10 +313,7 @@ mod tests {
     fn splits_are_disjoint_and_complete() {
         let g = tgraph::gen::erdos_renyi(80, 900, 5).build();
         let s = temporal_edge_split(&g, SplitRatios::default(), 4);
-        assert_eq!(
-            s.train_pos.len() + s.valid_pos.len() + s.test_pos.len(),
-            g.num_edges()
-        );
+        assert_eq!(s.train_pos.len() + s.valid_pos.len() + s.test_pos.len(), g.num_edges());
     }
 
     #[test]
@@ -362,10 +346,7 @@ mod tests {
                 assert!(split.contains(&c), "class {c} missing from a split");
             }
         }
-        assert_eq!(
-            d.y_train.len() + d.y_valid.len() + d.y_test.len(),
-            n
-        );
+        assert_eq!(d.y_train.len() + d.y_valid.len() + d.y_test.len(), n);
     }
 
     #[test]

@@ -215,10 +215,7 @@ pub fn table2(datasets: &[NamedDataset]) -> String {
 ///
 /// Propagates IO/parse failures from [`tgraph::io::read_wel_file`].
 pub fn load_wel<P: AsRef<Path>>(path: P, name: &str) -> Result<NamedDataset, TGraphError> {
-    let graph = tgraph::io::read_wel_file(&path)?
-        .undirected(true)
-        .normalize_times(true)
-        .build();
+    let graph = tgraph::io::read_wel_file(&path)?.undirected(true).normalize_times(true).build();
     Ok(NamedDataset {
         name: name.into(),
         description: format!("loaded from {}", path.as_ref().display()),

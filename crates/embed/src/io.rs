@@ -6,7 +6,6 @@
 //! Formats are little-endian with a 4-byte magic and are
 //! version-checked on load.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 
 use tgraph::NodeId;
@@ -50,16 +49,48 @@ impl From<std::io::Error> for CodecError {
     }
 }
 
-/// Encodes an embedding matrix to its binary form.
-pub fn encode_embeddings(emb: &EmbeddingMatrix) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + emb.as_slice().len() * 4);
-    buf.put_slice(EMB_MAGIC);
-    buf.put_u32_le(emb.num_nodes() as u32);
-    buf.put_u32_le(emb.dim() as u32);
-    for &v in emb.as_slice() {
-        buf.put_f32_le(v);
+/// Little-endian read cursor over a byte buffer (the `bytes::Buf` subset
+/// the codecs need, implemented on std so the workspace stays
+/// dependency-free).
+struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
     }
-    buf.freeze()
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes `N` bytes; caller must check [`Self::remaining`] first.
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take::<4>())
+    }
+}
+
+/// Encodes an embedding matrix to its binary form.
+pub fn encode_embeddings(emb: &EmbeddingMatrix) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + emb.as_slice().len() * 4);
+    buf.extend_from_slice(EMB_MAGIC);
+    buf.extend_from_slice(&(emb.num_nodes() as u32).to_le_bytes());
+    buf.extend_from_slice(&(emb.dim() as u32).to_le_bytes());
+    for &v in emb.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
 }
 
 /// Writes an embedding matrix to any writer.
@@ -81,12 +112,11 @@ pub fn write_embeddings<W: Write>(mut w: W, emb: &EmbeddingMatrix) -> Result<(),
 pub fn read_embeddings<R: Read>(mut r: R) -> Result<EmbeddingMatrix, CodecError> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = ByteReader::new(&raw);
     if buf.remaining() < 12 {
         return Err(CodecError::Format("truncated header".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic = buf.take::<4>();
     if &magic != EMB_MAGIC {
         return Err(CodecError::Format(format!("bad magic {magic:?}")));
     }
@@ -114,18 +144,18 @@ pub fn read_embeddings<R: Read>(mut r: R) -> Result<EmbeddingMatrix, CodecError>
 }
 
 /// Encodes a walk corpus to its binary form.
-pub fn encode_walks(walks: &WalkSet) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(WLK_MAGIC);
-    buf.put_u32_le(walks.num_walks() as u32);
-    buf.put_u32_le(walks.max_length() as u32);
+pub fn encode_walks(walks: &WalkSet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(WLK_MAGIC);
+    buf.extend_from_slice(&(walks.num_walks() as u32).to_le_bytes());
+    buf.extend_from_slice(&(walks.max_length() as u32).to_le_bytes());
     for w in walks.iter() {
-        buf.put_u32_le(w.len() as u32);
+        buf.extend_from_slice(&(w.len() as u32).to_le_bytes());
         for &v in w {
-            buf.put_u32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Writes a walk corpus to any writer.
@@ -148,12 +178,11 @@ pub fn write_walks<W: Write>(mut w: W, walks: &WalkSet) -> Result<(), CodecError
 pub fn read_walks<R: Read>(mut r: R) -> Result<WalkSet, CodecError> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = ByteReader::new(&raw);
     if buf.remaining() < 12 {
         return Err(CodecError::Format("truncated header".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic = buf.take::<4>();
     if &magic != WLK_MAGIC {
         return Err(CodecError::Format(format!("bad magic {magic:?}")));
     }

@@ -35,8 +35,8 @@
 //! ```
 
 mod config;
-pub mod io;
 mod embedding;
+pub mod io;
 mod model;
 mod table;
 mod train;

@@ -9,7 +9,9 @@ use std::time::{Duration, Instant};
 use par::{parallel_for_index, ParConfig};
 use twalk::{WalkRng, WalkSet};
 
-use crate::{EmbeddingMatrix, NegativeTable, Reduction, SharedMatrix, SigmoidTable, Word2VecConfig};
+use crate::{
+    EmbeddingMatrix, NegativeTable, Reduction, SharedMatrix, SigmoidTable, Word2VecConfig,
+};
 
 /// Throughput accounting for a batched run (feeds the Fig. 5 study, where
 /// each batch corresponds to one GPU kernel launch).
@@ -95,8 +97,7 @@ pub fn train_batched(
                 let s = lo + i;
                 let walk = corpus.walk(s);
                 let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-                let lr = (cfg.initial_lr
-                    * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
                     .max(cfg.min_lr);
                 let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
                 train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
@@ -105,15 +106,8 @@ pub fn train_batched(
         }
     }
 
-    let stats = BatchRunStats {
-        batches,
-        tokens: total_tokens,
-        duration: start.elapsed(),
-    };
-    (
-        EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense()),
-        stats,
-    )
+    let stats = BatchRunStats { batches, tokens: total_tokens, duration: start.elapsed() };
+    (EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense()), stats)
 }
 
 /// Continues training from existing embeddings (warm start) — the
@@ -155,8 +149,8 @@ pub fn train_from(
         parallel_for_index(par, n_sentences, |s| {
             let walk = corpus.walk(s);
             let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-            let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
-                .max(cfg.min_lr);
+            let lr =
+                (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32)).max(cfg.min_lr);
             let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
             train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
         });
@@ -188,16 +182,16 @@ pub fn train_locked(
     let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
     let sigmoid = SigmoidTable::default();
     let processed = AtomicU64::new(0);
-    let lock = parking_lot::Mutex::new(());
+    let lock = std::sync::Mutex::new(());
 
     for epoch in 0..cfg.epochs {
         parallel_for_index(par, n_sentences, |s| {
             let walk = corpus.walk(s);
             let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-            let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
-                .max(cfg.min_lr);
+            let lr =
+                (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32)).max(cfg.min_lr);
             let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
-            let _guard = lock.lock();
+            let _guard = lock.lock().expect("word2vec worker panicked");
             train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
         });
     }
@@ -305,10 +299,7 @@ mod tests {
         let cfg = Word2VecConfig::default().dim(8).epochs(8).seed(1);
         let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
         let (intra, inter) = mean_intra_inter(&emb);
-        assert!(
-            intra > inter + 0.2,
-            "intra {intra} not separated from inter {inter}"
-        );
+        assert!(intra > inter + 0.2, "intra {intra} not separated from inter {inter}");
     }
 
     #[test]
@@ -341,17 +332,11 @@ mod tests {
         let (corpus, n) = two_community_corpus();
         for layout in [Layout::Packed, Layout::Padded] {
             for reduction in [Reduction::Scalar, Reduction::Chunked] {
-                let cfg = Word2VecConfig::default()
-                    .epochs(6)
-                    .seed(4)
-                    .layout(layout)
-                    .reduction(reduction);
+                let cfg =
+                    Word2VecConfig::default().epochs(6).seed(4).layout(layout).reduction(reduction);
                 let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
                 let (intra, inter) = mean_intra_inter(&emb);
-                assert!(
-                    intra > inter,
-                    "{layout:?}/{reduction:?}: intra {intra} <= inter {inter}"
-                );
+                assert!(intra > inter, "{layout:?}/{reduction:?}: intra {intra} <= inter {inter}");
             }
         }
     }
@@ -373,7 +358,8 @@ mod tests {
         // Refresh with a corpus that never mentions nodes 5..10: their
         // vectors must be exactly preserved.
         let sub = WalkSet::from_walks(&[vec![0, 1, 2], vec![2, 3, 4]], 4);
-        let refreshed = train_from(&sub, n, &base, &cfg.clone().epochs(1), &ParConfig::with_threads(1));
+        let refreshed =
+            train_from(&sub, n, &base, &cfg.clone().epochs(1), &ParConfig::with_threads(1));
         for v in 5..10u32 {
             assert_eq!(refreshed.get(v), base.get(v), "untouched node {v} moved");
         }
@@ -396,8 +382,15 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn warm_start_rejects_dim_change() {
         let (corpus, n) = two_community_corpus();
-        let base = train(&corpus, n, &Word2VecConfig::default().epochs(1), &ParConfig::with_threads(1));
-        let _ = train_from(&corpus, n, &base, &Word2VecConfig::default().dim(16), &ParConfig::with_threads(1));
+        let base =
+            train(&corpus, n, &Word2VecConfig::default().epochs(1), &ParConfig::with_threads(1));
+        let _ = train_from(
+            &corpus,
+            n,
+            &base,
+            &Word2VecConfig::default().dim(16),
+            &ParConfig::with_threads(1),
+        );
     }
 
     #[test]
@@ -413,12 +406,6 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_panics() {
         let (corpus, n) = two_community_corpus();
-        let _ = train_batched(
-            &corpus,
-            n,
-            &Word2VecConfig::default(),
-            &ParConfig::default(),
-            0,
-        );
+        let _ = train_batched(&corpus, n, &Word2VecConfig::default(), &ParConfig::default(), 0);
     }
 }

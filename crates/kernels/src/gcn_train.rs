@@ -211,7 +211,7 @@ mod tests {
         let adj = normalized_adjacency(&g);
         let labels: Vec<u16> = (0..12).map(|i| (i % 2) as u16).collect();
         let train: Vec<usize> = (0..12).collect();
-        let mut gcn = GcnClassifier::new(12, 5, 2, 3);
+        let gcn = GcnClassifier::new(12, 5, 2, 3);
 
         let loss_of = |gcn: &GcnClassifier| -> f64 {
             let (_, _, logits) = gcn.forward(&adj);
@@ -277,6 +277,6 @@ mod tests {
         let g = tgraph::gen::erdos_renyi(10, 40, 2).build();
         let adj = normalized_adjacency(&g);
         let mut gcn = GcnClassifier::new(10, 4, 2, 0);
-        let _ = gcn.fit(&adj, &vec![0u16; 10], &[], &GcnTrainOptions::default());
+        let _ = gcn.fit(&adj, &[0u16; 10], &[], &GcnTrainOptions::default());
     }
 }

@@ -49,11 +49,7 @@ impl VggProxy {
         let layers: Vec<(usize, usize, usize)> = VGG16_CONV
             .iter()
             .map(|&(m, k, n)| {
-                (
-                    (m / (shrink * shrink)).max(4),
-                    (k / shrink).max(4),
-                    (n / shrink).max(4),
-                )
+                ((m / (shrink * shrink)).max(4), (k / shrink).max(4), (n / shrink).max(4))
             })
             .collect();
         let weights = layers

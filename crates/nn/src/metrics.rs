@@ -29,11 +29,7 @@ pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
 pub fn binary_accuracy(scores: &[f32], truth: &[f32]) -> f64 {
     assert_eq!(scores.len(), truth.len(), "length mismatch");
     assert!(!scores.is_empty(), "empty inputs");
-    let correct = scores
-        .iter()
-        .zip(truth)
-        .filter(|&(&s, &t)| (s >= 0.5) == (t >= 0.5))
-        .count();
+    let correct = scores.iter().zip(truth).filter(|&(&s, &t)| (s >= 0.5) == (t >= 0.5)).count();
     correct as f64 / scores.len() as f64
 }
 
@@ -70,12 +66,8 @@ pub fn roc_auc(scores: &[f32], truth: &[f32]) -> f64 {
     if pos == 0 || neg == 0 {
         return 0.5;
     }
-    let rank_sum_pos: f64 = truth
-        .iter()
-        .zip(&ranks)
-        .filter(|&(&t, _)| t >= 0.5)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        truth.iter().zip(&ranks).filter(|&(&t, _)| t >= 0.5).map(|(_, &r)| r).sum();
     (rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
 }
 

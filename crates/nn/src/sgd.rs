@@ -86,10 +86,7 @@ impl Sgd {
             return;
         }
         if self.velocity.is_empty() {
-            self.velocity = grads
-                .iter()
-                .map(|g| Tensor2::zeros(g.rows(), g.cols()))
-                .collect();
+            self.velocity = grads.iter().map(|g| Tensor2::zeros(g.rows(), g.cols())).collect();
         }
         for ((p, g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
             v.scale(self.momentum);

@@ -134,14 +134,19 @@ impl Trainer {
         y_valid: &[f32],
     ) -> TrainReport {
         assert_eq!(mlp.head(), OutputHead::Binary, "trainer/head mismatch");
-        self.run(mlp, x_train.rows(), |mlp, idx| {
-            let xb = x_train.gather_rows(idx);
-            let yb: Vec<f32> = idx.iter().map(|&i| y_train[i]).collect();
-            mlp.loss_and_grads_binary(&xb, &yb)
-        }, |mlp| {
-            let p = mlp.predict_proba(x_valid);
-            metrics::binary_accuracy(&p, y_valid)
-        })
+        self.run(
+            mlp,
+            x_train.rows(),
+            |mlp, idx| {
+                let xb = x_train.gather_rows(idx);
+                let yb: Vec<f32> = idx.iter().map(|&i| y_train[i]).collect();
+                mlp.loss_and_grads_binary(&xb, &yb)
+            },
+            |mlp| {
+                let p = mlp.predict_proba(x_valid);
+                metrics::binary_accuracy(&p, y_valid)
+            },
+        )
     }
 
     /// Trains a multi-class network on integer labels.
@@ -159,24 +164,34 @@ impl Trainer {
         y_valid: &[usize],
     ) -> TrainReport {
         assert_eq!(mlp.head(), OutputHead::MultiClass, "trainer/head mismatch");
-        self.run(mlp, x_train.rows(), |mlp, idx| {
-            let xb = x_train.gather_rows(idx);
-            let yb: Vec<usize> = idx.iter().map(|&i| y_train[i]).collect();
-            mlp.loss_and_grads_multiclass(&xb, &yb)
-        }, |mlp| {
-            let p = mlp.predict_class(x_valid);
-            metrics::accuracy(&p, y_valid)
-        })
+        self.run(
+            mlp,
+            x_train.rows(),
+            |mlp, idx| {
+                let xb = x_train.gather_rows(idx);
+                let yb: Vec<usize> = idx.iter().map(|&i| y_train[i]).collect();
+                mlp.loss_and_grads_multiclass(&xb, &yb)
+            },
+            |mlp| {
+                let p = mlp.predict_class(x_valid);
+                metrics::accuracy(&p, y_valid)
+            },
+        )
     }
 
-    fn run<B, V>(&self, mlp: &mut Mlp, n_rows: usize, mut batch_fn: B, mut valid_fn: V) -> TrainReport
+    fn run<B, V>(
+        &self,
+        mlp: &mut Mlp,
+        n_rows: usize,
+        mut batch_fn: B,
+        mut valid_fn: V,
+    ) -> TrainReport
     where
         B: FnMut(&Mlp, &[usize]) -> (f32, Vec<Tensor2>),
         V: FnMut(&Mlp) -> f64,
     {
         assert!(n_rows > 0, "no training rows");
-        let mut opt = Sgd::new(self.opts.lr)
-            .decay(self.opts.lr_decay);
+        let mut opt = Sgd::new(self.opts.lr).decay(self.opts.lr_decay);
         if self.opts.momentum > 0.0 {
             opt = opt.momentum(self.opts.momentum);
         }
@@ -281,6 +296,12 @@ mod tests {
     fn head_mismatch_panics() {
         let mut mlp = Mlp::new(&[2, 2], OutputHead::MultiClass, 0);
         let x = Tensor2::zeros(2, 2);
-        let _ = Trainer::new(TrainOptions::default()).fit_binary(&mut mlp, &x, &[0.0, 1.0], &x, &[0.0, 1.0]);
+        let _ = Trainer::new(TrainOptions::default()).fit_binary(
+            &mut mlp,
+            &x,
+            &[0.0, 1.0],
+            &x,
+            &[0.0, 1.0],
+        );
     }
 }

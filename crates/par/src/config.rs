@@ -24,9 +24,7 @@ impl ParConfig {
     /// Creates a configuration using all available hardware parallelism and
     /// a default chunk size of 256 items.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         Self { threads, chunk: 256 }
     }
 

@@ -5,7 +5,7 @@
 //! because per-vertex work is highly skewed (it depends on out-degree and
 //! timestamp distribution). This crate provides the equivalent building
 //! block for the rest of the workspace: a chunked, dynamically scheduled
-//! `parallel_for` built on [`crossbeam`]'s scoped threads and a shared work
+//! `parallel_for` built on [`std::thread::scope`] and a shared work
 //! queue, plus helpers for parallel map/reduce with per-thread state.
 //!
 //! # Examples
@@ -25,7 +25,7 @@ mod pool;
 mod reduce;
 
 pub use config::ParConfig;
-pub use pool::{parallel_chunks, parallel_for, parallel_for_index};
+pub use pool::{parallel_chunks, parallel_chunks_shared, parallel_for, parallel_for_index};
 pub use reduce::{parallel_map_reduce, parallel_reduce_with};
 
 #[cfg(test)]

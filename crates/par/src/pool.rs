@@ -32,9 +32,9 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let chunk = cfg.chunk();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= len {
                     break;
@@ -43,8 +43,36 @@ where
                 body(start, end);
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
+}
+
+/// [`parallel_chunks`] with an explicit piece of read-only shared state
+/// passed to every chunk invocation.
+///
+/// Functionally equivalent to capturing `shared` in the closure, but the
+/// signature makes the sharing contract explicit: `shared` must be [`Sync`]
+/// and workers receive it immutably, so precomputed tables (e.g. a
+/// prepared transition sampler) are provably read-only across threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use par::{parallel_chunks_shared, ParConfig};
+///
+/// let weights = vec![2usize; 100];
+/// let sum = AtomicUsize::new(0);
+/// parallel_chunks_shared(&ParConfig::default(), &weights, 100, |w, start, end| {
+///     sum.fetch_add(w[start..end].iter().sum(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 200);
+/// ```
+pub fn parallel_chunks_shared<S, F>(cfg: &ParConfig, shared: &S, len: usize, body: F)
+where
+    S: Sync + ?Sized,
+    F: Fn(&S, usize, usize) + Sync,
+{
+    parallel_chunks(cfg, len, |start, end| body(shared, start, end));
 }
 
 /// Runs `body(i)` for every `i` in `0..len` using dynamic scheduling.

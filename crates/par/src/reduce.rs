@@ -1,6 +1,6 @@
 //! Parallel map-reduce with per-chunk accumulators.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::{parallel_chunks, ParConfig};
 
@@ -24,7 +24,13 @@ use crate::{parallel_chunks, ParConfig};
 /// );
 /// assert_eq!(total, 499_500);
 /// ```
-pub fn parallel_map_reduce<T, M, R>(cfg: &ParConfig, len: usize, identity: T, map: M, reduce: R) -> T
+pub fn parallel_map_reduce<T, M, R>(
+    cfg: &ParConfig,
+    len: usize,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
 where
     T: Clone + Send + Sync,
     M: Fn(usize) -> T + Sync,
@@ -70,7 +76,13 @@ where
 /// );
 /// assert_eq!(hist, vec![25u32; 4]);
 /// ```
-pub fn parallel_reduce_with<T, F, R>(cfg: &ParConfig, len: usize, identity: T, fold: F, merge: R) -> T
+pub fn parallel_reduce_with<T, F, R>(
+    cfg: &ParConfig,
+    len: usize,
+    identity: T,
+    fold: F,
+    merge: R,
+) -> T
 where
     T: Clone + Send + Sync,
     F: Fn(T, usize, usize) -> T + Sync,
@@ -79,12 +91,9 @@ where
     let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
     parallel_chunks(cfg, len, |start, end| {
         let part = fold(identity.clone(), start, end);
-        partials.lock().push(part);
+        partials.lock().expect("reduce worker panicked").push(part);
     });
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, merge)
+    partials.into_inner().expect("reduce worker panicked").into_iter().fold(identity, merge)
 }
 
 #[cfg(test)]

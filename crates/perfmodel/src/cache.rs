@@ -84,9 +84,7 @@ impl CacheSim {
             return true;
         }
         // Evict LRU way.
-        let lru = (0..self.cfg.assoc)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("assoc >= 1");
+        let lru = (0..self.cfg.assoc).min_by_key(|&w| self.stamps[base + w]).expect("assoc >= 1");
         self.tags[base + lru] = line;
         self.stamps[base + lru] = self.clock;
         false

@@ -94,9 +94,7 @@ mod tests {
     use twalk::{TransitionSampler, WalkConfig};
 
     fn walk_profile() -> KernelProfile {
-        let g = tgraph::gen::preferential_attachment(2_000, 3, 1)
-            .undirected(true)
-            .build();
+        let g = tgraph::gen::preferential_attachment(2_000, 3, 1).undirected(true).build();
         profile_walk(
             &g,
             &WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(1),
@@ -124,10 +122,7 @@ mod tests {
         let cpu = CpuModel::single_core();
         let p = walk_profile();
         let secs = cpu.estimate_secs(&p, 1);
-        assert!(
-            (1e-5..1.0).contains(&secs),
-            "single-core estimate {secs}s out of plausible range"
-        );
+        assert!((1e-5..1.0).contains(&secs), "single-core estimate {secs}s out of plausible range");
     }
 
     #[test]

@@ -180,7 +180,14 @@ mod tests {
     use super::*;
 
     fn flat_ops(n: u64) -> OpCounts {
-        OpCounts { loads: n, stores: n / 4, branches: n / 8, int_ops: n / 2, fp_ops: n, other: n / 8 }
+        OpCounts {
+            loads: n,
+            stores: n / 4,
+            branches: n / 8,
+            int_ops: n / 2,
+            fp_ops: n,
+            other: n / 8,
+        }
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! Abstract operation accounting (the MICA-Pintool substitute).
 
-use serde::{Deserialize, Serialize};
-
 /// Dynamic operation counts of one kernel execution.
 ///
 /// Categories follow the paper's Fig. 9 legend: memory (loads + stores),
 /// branch, compute (integer + floating point), and others.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Memory read operations.
     pub loads: u64,
@@ -66,7 +64,7 @@ impl OpCounts {
 }
 
 /// Normalized instruction-type shares (sums to 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Load + store share.
     pub memory: f64,

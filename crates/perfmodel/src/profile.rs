@@ -202,8 +202,7 @@ pub fn profile_walk(g: &TemporalGraph, cfg: &WalkConfig, opts: &ProfileOptions) 
                         let len = dsts.len();
                         let total = (len * (len + 1) / 2) as f64;
                         let target = rng.next_f64() * total;
-                        ((((8.0 * target + 1.0).sqrt() - 1.0) / 2.0).floor() as usize)
-                            .min(len - 1)
+                        ((((8.0 * target + 1.0).sqrt() - 1.0) / 2.0).floor() as usize).min(len - 1)
                     }
                     TransitionSampler::Softmax | TransitionSampler::SoftmaxRecency => {
                         // Two passes over the candidate timestamps (Eq. 1):
@@ -500,20 +499,15 @@ mod tests {
     use twalk::WalkConfig;
 
     fn pa_graph() -> TemporalGraph {
-        tgraph::gen::preferential_attachment(2_000, 3, 7)
-            .undirected(true)
-            .build()
+        tgraph::gen::preferential_attachment(2_000, 3, 7).undirected(true).build()
     }
 
     #[test]
     fn softmax_walk_is_compute_heavy_vs_bfs() {
         let g = pa_graph();
         let opts = ProfileOptions::default();
-        let walk = profile_walk(
-            &g,
-            &WalkConfig::new(4, 6).sampler(TransitionSampler::Softmax),
-            &opts,
-        );
+        let walk =
+            profile_walk(&g, &WalkConfig::new(4, 6).sampler(TransitionSampler::Softmax), &opts);
         let bfs = profile_bfs(&g, 0, &opts);
         // Paper §VII-B: the walk kernel executes *more compute* than a
         // traditional traversal because of Eq. (1)'s exponentials.

@@ -16,12 +16,10 @@
 //! (e.g. switching the walk sampler from softmax to uniform visibly shifts
 //! stalls from compute toward memory).
 
-use serde::{Deserialize, Serialize};
-
 use crate::KernelProfile;
 
 /// The kernel being attributed (paper Fig. 11 x-axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelClass {
     /// Temporal random walk (RW-P1).
     RandomWalk,
@@ -34,7 +32,7 @@ pub enum KernelClass {
 }
 
 /// Stall categories, matching the paper's Fig. 11 legend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCategory {
     /// Immediate constant cache (IMC) misses.
     ImcMiss,
@@ -69,7 +67,7 @@ impl StallCategory {
 }
 
 /// A normalized stall breakdown (fractions sum to 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StallBreakdown {
     fractions: Vec<(StallCategory, f64)>,
 }
@@ -77,11 +75,7 @@ pub struct StallBreakdown {
 impl StallBreakdown {
     /// Fraction for one category.
     pub fn fraction(&self, cat: StallCategory) -> f64 {
-        self.fractions
-            .iter()
-            .find(|(c, _)| *c == cat)
-            .map(|(_, f)| *f)
-            .unwrap_or(0.0)
+        self.fractions.iter().find(|(c, _)| *c == cat).map(|(_, f)| *f).unwrap_or(0.0)
     }
 
     /// All `(category, fraction)` pairs in legend order.
@@ -117,7 +111,11 @@ fn prior(class: KernelClass) -> [f64; 8] {
 /// # Panics
 ///
 /// Panics if `occupancy` is outside `(0, 1]`.
-pub fn stall_breakdown(class: KernelClass, profile: &KernelProfile, occupancy: f64) -> StallBreakdown {
+pub fn stall_breakdown(
+    class: KernelClass,
+    profile: &KernelProfile,
+    occupancy: f64,
+) -> StallBreakdown {
     assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy must be in (0, 1]");
     let fp = profile.ops.fp_fraction();
     let mem = profile.ops.mem_fraction();
@@ -125,14 +123,14 @@ pub fn stall_breakdown(class: KernelClass, profile: &KernelProfile, occupancy: f
 
     // Feature-driven raw weights (order = StallCategory::ALL).
     let features = [
-        1.2 * (1.0 - occupancy),          // IMC: no immediate reuse at low occupancy
-        2.2 * fp,                          // compute dependency: long fp chains
-        0.08,                              // icache: roughly constant
-        4.0 * mem * (0.4 + 1.6 * irr),     // memory dependency: dependent gathers
-        0.35 * occupancy,                  // pipe busy: only when fed
-        0.25 * occupancy,                  // barriers: only with many CTAs
-        1.4 * irr,                         // TEX queue: divergence pressure
-        0.12,                              // other
+        1.2 * (1.0 - occupancy),       // IMC: no immediate reuse at low occupancy
+        2.2 * fp,                      // compute dependency: long fp chains
+        0.08,                          // icache: roughly constant
+        4.0 * mem * (0.4 + 1.6 * irr), // memory dependency: dependent gathers
+        0.35 * occupancy,              // pipe busy: only when fed
+        0.25 * occupancy,              // barriers: only with many CTAs
+        1.4 * irr,                     // TEX queue: divergence pressure
+        0.12,                          // other
     ];
     let fsum: f64 = features.iter().sum();
     let p = prior(class);
@@ -157,9 +155,7 @@ mod tests {
     use twalk::{TransitionSampler, WalkConfig};
 
     fn walk_profile(sampler: TransitionSampler) -> KernelProfile {
-        let g = tgraph::gen::preferential_attachment(1_000, 3, 1)
-            .undirected(true)
-            .build();
+        let g = tgraph::gen::preferential_attachment(1_000, 3, 1).undirected(true).build();
         profile_walk(&g, &WalkConfig::new(4, 6).sampler(sampler), &ProfileOptions::default())
     }
 

@@ -165,14 +165,10 @@ mod tests {
     #[test]
     fn reachable_set_is_walk_oracle() {
         // Every vertex a temporal walk visits must be in the reachable set.
-        let g = crate::gen::preferential_attachment(300, 2, 5)
-            .undirected(true)
-            .build();
+        let g = crate::gen::preferential_attachment(300, 2, 5).undirected(true).build();
         for source in [0u32, 10, 100] {
             let set: std::collections::HashSet<NodeId> =
-                temporal_reachable_set(&g, source, f64::NEG_INFINITY)
-                    .into_iter()
-                    .collect();
+                temporal_reachable_set(&g, source, f64::NEG_INFINITY).into_iter().collect();
             assert!(set.contains(&source));
             // Walks are bounded-length samples of the reachability
             // structure; run a few and check containment.

@@ -119,12 +119,7 @@ impl GraphBuilder {
             }
         }
 
-        let max_id = self
-            .edges
-            .iter()
-            .map(|e| e.src.max(e.dst) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let max_id = self.edges.iter().map(|e| e.src.max(e.dst) as usize + 1).max().unwrap_or(0);
         let n = self.forced_nodes.unwrap_or(0).max(max_id);
 
         // Counting-sort CSR construction.
@@ -187,10 +182,7 @@ mod tests {
 
     #[test]
     fn undirected_doubles_edges() {
-        let g = GraphBuilder::new()
-            .add_edge(TemporalEdge::new(0, 1, 1.0))
-            .undirected(true)
-            .build();
+        let g = GraphBuilder::new().add_edge(TemporalEdge::new(0, 1, 1.0)).undirected(true).build();
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 0));
@@ -221,19 +213,14 @@ mod tests {
 
     #[test]
     fn forced_node_count() {
-        let g = GraphBuilder::new()
-            .add_edge(TemporalEdge::new(0, 1, 0.0))
-            .num_nodes(10)
-            .build();
+        let g = GraphBuilder::new().add_edge(TemporalEdge::new(0, 1, 0.0)).num_nodes(10).build();
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.out_degree(9), 0);
     }
 
     #[test]
     fn non_finite_time_is_rejected() {
-        let r = GraphBuilder::new()
-            .add_edge(TemporalEdge::new(0, 1, f64::NAN))
-            .try_build();
+        let r = GraphBuilder::new().add_edge(TemporalEdge::new(0, 1, f64::NAN)).try_build();
         assert!(matches!(r, Err(crate::TGraphError::NonFiniteTime { edge_index: 0 })));
     }
 

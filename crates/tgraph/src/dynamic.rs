@@ -49,12 +49,7 @@ impl DynamicGraph {
         for e in g.edges() {
             adj[e.src as usize].push((e.dst, e.time));
         }
-        Self {
-            adj,
-            dirty: Vec::new(),
-            dirty_flags: vec![false; n],
-            num_edges: g.num_edges(),
-        }
+        Self { adj, dirty: Vec::new(), dirty_flags: vec![false; n], num_edges: g.num_edges() }
     }
 
     /// Number of vertices (grows automatically with edge ids).

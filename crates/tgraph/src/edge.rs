@@ -1,7 +1,5 @@
 //! Core temporal edge types (paper Definition III.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Vertex identifier. The paper's pipeline deliberately uses a
 /// single-integer vertex id as the only node feature (§IV-C).
 pub type NodeId = u32;
@@ -26,7 +24,7 @@ pub type Time = f64;
 /// assert_eq!(e.dst, 7);
 /// assert_eq!(e.time, 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TemporalEdge {
     /// Source vertex.
     pub src: NodeId,

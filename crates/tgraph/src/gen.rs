@@ -229,10 +229,7 @@ pub fn temporal_sbm(n: usize, classes: u16, m: usize, p_in: f64, seed: u64) -> L
         edges.push(TemporalEdge::new(src, dst, rng.gen::<f64>()));
     }
 
-    LabeledGraphGen {
-        builder: GraphBuilder::new().extend_edges(edges).num_nodes(n),
-        labels,
-    }
+    LabeledGraphGen { builder: GraphBuilder::new().extend_edges(edges).num_nodes(n), labels }
 }
 
 #[cfg(test)]
@@ -264,11 +261,7 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
         // Heavy tail: the max degree dwarfs the mean.
-        assert!(
-            degrees[0] as f64 > 8.0 * mean,
-            "max degree {} not >> mean {mean}",
-            degrees[0]
-        );
+        assert!(degrees[0] as f64 > 8.0 * mean, "max degree {} not >> mean {mean}", degrees[0]);
     }
 
     #[test]
@@ -283,7 +276,7 @@ mod tests {
         let gen = temporal_sbm(90, 3, 1_000, 0.9, 1);
         assert_eq!(gen.labels.len(), 90);
         for c in 0..3u16 {
-            assert!(gen.labels.iter().any(|&l| l == c));
+            assert!(gen.labels.contains(&c));
         }
     }
 
@@ -292,10 +285,7 @@ mod tests {
         let gen = temporal_sbm(300, 3, 10_000, 0.9, 2);
         let labels = gen.labels.clone();
         let g = gen.builder.build();
-        let intra = g
-            .edges()
-            .filter(|e| labels[e.src as usize] == labels[e.dst as usize])
-            .count();
+        let intra = g.edges().filter(|e| labels[e.src as usize] == labels[e.dst as usize]).count();
         let frac = intra as f64 / g.num_edges() as f64;
         assert!(frac > 0.85, "intra-community fraction too low: {frac}");
     }
@@ -312,12 +302,7 @@ mod tests {
         assert_eq!(g.num_edges(), 20_000);
         let stats = crate::stats::degree_stats(&g);
         // Graph500 skew: max degree far above the mean.
-        assert!(
-            stats.max as f64 > 10.0 * stats.mean,
-            "max {} vs mean {}",
-            stats.max,
-            stats.mean
-        );
+        assert!(stats.max as f64 > 10.0 * stats.mean, "max {} vs mean {}", stats.max, stats.mean);
         for e in g.edges() {
             assert_ne!(e.src, e.dst);
         }

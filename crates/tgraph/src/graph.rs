@@ -63,6 +63,18 @@ impl TemporalGraph {
         (&self.dsts[a..b], &self.times[a..b])
     }
 
+    /// CSR edge-index range of `v`'s neighbor segment — positions into
+    /// edge-parallel side tables (per-edge weights, cumulative sums) built
+    /// in the graph's edge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn segment_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
     /// Iterator over `(dst, time)` pairs of `v` in ascending-time order.
     ///
     /// # Examples
@@ -118,9 +130,8 @@ impl TemporalGraph {
     /// Iterator over every temporal edge in the graph, grouped by source
     /// vertex and time-sorted within each group.
     pub fn edges(&self) -> impl Iterator<Item = TemporalEdge> + '_ {
-        (0..self.num_nodes() as NodeId).flat_map(move |v| {
-            self.neighbors(v).map(move |(d, t)| TemporalEdge::new(v, d, t))
-        })
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |v| self.neighbors(v).map(move |(d, t)| TemporalEdge::new(v, d, t)))
     }
 
     /// Whether at least one `u -> v` edge exists at any timestamp.
@@ -230,6 +241,19 @@ mod tests {
         assert_eq!(g.out_degree(1), 3);
         assert_eq!(g.out_degree(2), 0);
         assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn segment_ranges_tile_the_edge_array() {
+        let g = toy();
+        let mut next = 0;
+        for v in 0..g.num_nodes() as NodeId {
+            let r = g.segment_range(v);
+            assert_eq!(r.start, next);
+            assert_eq!(r.len(), g.out_degree(v));
+            next = r.end;
+        }
+        assert_eq!(next, g.num_edges());
     }
 
     #[test]

@@ -42,8 +42,8 @@ mod builder;
 pub mod dynamic;
 mod edge;
 mod error;
-mod graph;
 pub mod gen;
+mod graph;
 pub mod io;
 pub mod stats;
 

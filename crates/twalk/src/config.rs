@@ -24,6 +24,35 @@ pub enum TransitionSampler {
     LinearTime,
 }
 
+impl std::fmt::Display for TransitionSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransitionSampler::Uniform => "uniform",
+            TransitionSampler::Softmax => "softmax",
+            TransitionSampler::SoftmaxRecency => "recency",
+            TransitionSampler::LinearTime => "linear",
+        })
+    }
+}
+
+impl std::str::FromStr for TransitionSampler {
+    type Err = String;
+
+    /// Parses the CLI spelling: `uniform`, `softmax`, `recency` (alias
+    /// `softmax-recency`), `linear` (alias `linear-time`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uniform" => Ok(TransitionSampler::Uniform),
+            "softmax" => Ok(TransitionSampler::Softmax),
+            "recency" | "softmax-recency" => Ok(TransitionSampler::SoftmaxRecency),
+            "linear" | "linear-time" => Ok(TransitionSampler::LinearTime),
+            other => Err(format!(
+                "unknown sampler {other:?} (expected uniform, softmax, recency, or linear)"
+            )),
+        }
+    }
+}
+
 /// Configuration of the temporal random walk kernel.
 ///
 /// `walks_per_node` is the paper's `K`, `max_length` the paper's `N`; the
@@ -138,5 +167,20 @@ mod tests {
     fn paper_optimal_matches_section_vii() {
         let cfg = WalkConfig::paper_optimal();
         assert_eq!((cfg.walks_per_node, cfg.max_length), (10, 6));
+    }
+
+    #[test]
+    fn sampler_names_round_trip() {
+        for s in [
+            TransitionSampler::Uniform,
+            TransitionSampler::Softmax,
+            TransitionSampler::SoftmaxRecency,
+            TransitionSampler::LinearTime,
+        ] {
+            assert_eq!(s.to_string().parse::<TransitionSampler>(), Ok(s));
+        }
+        assert_eq!("softmax-recency".parse(), Ok(TransitionSampler::SoftmaxRecency));
+        assert_eq!("linear-time".parse(), Ok(TransitionSampler::LinearTime));
+        assert!("deepwalk".parse::<TransitionSampler>().is_err());
     }
 }

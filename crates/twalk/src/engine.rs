@@ -1,16 +1,32 @@
 //! The walk kernel itself (paper Algorithm 1).
+//!
+//! Bulk generation is a two-step API: [`TransitionSampler::prepare`] binds
+//! the configured sampler to the graph (building CDF tables for the
+//! softmax variants), then [`generate_walks_prepared`] /
+//! [`generate_walks_from_prepared`] run the kernel against the shared
+//! read-only [`PreparedSampler`]. The one-shot wrappers
+//! [`generate_walks`] / [`generate_walks_from`] prepare internally and
+//! stay source-compatible. [`walk_from`] keeps the direct-evaluation
+//! sampling path as the executable reference the prepared kernel is
+//! verified against.
 
-use par::{parallel_chunks, ParConfig};
+use par::{parallel_chunks_shared, ParConfig};
 use tgraph::{NodeId, TemporalGraph, Time};
 
+use crate::sampler::{direct_linear, direct_softmax, PreparedSampler};
 use crate::{TransitionSampler, WalkConfig, WalkRng, WalkSet};
 
 /// Generates `K` temporal walks from every vertex, parallelizing the
 /// middle (vertex) loop with dynamic scheduling — the arrangement the paper
 /// found optimal (§V-A).
 ///
-/// Walks are deterministic in `cfg.seed` and independent of the thread
-/// count, because each `(walk, vertex)` pair draws from its own RNG stream.
+/// Walks are deterministic in `(cfg.seed, cfg.sampler)` and independent of
+/// the thread count, because each `(walk, vertex)` pair draws from its own
+/// RNG stream.
+///
+/// Prepares the sampler internally; to amortize table construction over
+/// several runs on the same graph, call [`TransitionSampler::prepare`]
+/// once and use [`generate_walks_prepared`].
 ///
 /// # Examples
 ///
@@ -23,22 +39,39 @@ use crate::{TransitionSampler, WalkConfig, WalkRng, WalkSet};
 /// assert_eq!(w.num_walks(), 400);
 /// ```
 pub fn generate_walks(g: &TemporalGraph, cfg: &WalkConfig, par: &ParConfig) -> WalkSet {
+    let prepared = cfg.sampler.prepare(g);
+    generate_walks_prepared(g, cfg, &prepared, par)
+}
+
+/// [`generate_walks`] against an already-prepared sampler.
+///
+/// The sampler is shared read-only across the worker threads; walks are
+/// identical to what [`generate_walks`] produces for `cfg.sampler` (the
+/// prepared form of a config sampler defines the kernel's distribution).
+///
+/// # Panics
+///
+/// Panics if `sampler` was prepared for a graph of a different shape.
+pub fn generate_walks_prepared(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    par: &ParConfig,
+) -> WalkSet {
+    assert!(sampler.matches_graph(g), "sampler was prepared for a different graph");
     let n = g.num_nodes();
     let k = cfg.walks_per_node;
     let nl = cfg.max_length;
     let total = n * k;
     let mut nodes = vec![0 as NodeId; total * nl];
     let mut lengths = vec![0u32; total];
-    // The softmax normalization term r (Eq. 1) is a whole-graph property;
-    // computing it once here keeps the per-walk cost O(steps), not O(|E|).
-    let span = g.time_span().max(f64::MIN_POSITIVE);
 
     // One contiguous output row per (walk w, vertex v): index w * n + v,
     // matching Algorithm 1's loop nest (outer walk loop, inner vertex loop).
     {
         let nodes_ptr = nodes.as_mut_ptr() as usize;
         let lengths_ptr = lengths.as_mut_ptr() as usize;
-        parallel_chunks(par, total, |start, end| {
+        parallel_chunks_shared(par, sampler, total, |sampler, start, end| {
             // SAFETY: chunks are disjoint subranges of 0..total; each row
             // of `nodes` and slot of `lengths` is written by exactly one
             // worker.
@@ -49,13 +82,13 @@ pub fn generate_walks(g: &TemporalGraph, cfg: &WalkConfig, par: &ParConfig) -> W
                 let v = (idx % n) as NodeId;
                 let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
                 let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
-                let len = walk_into(g, span, cfg, v, &mut rng, row);
+                let len = walk_into(g, sampler, cfg, v, &mut rng, row);
                 unsafe { *lengths.add(idx) = len as u32 };
             }
         });
     }
 
-    WalkSet::from_parts(nodes, lengths, nl)
+    WalkSet::from_parts(nodes, lengths, nl).with_sampler_stats(sampler.stats())
 }
 
 /// Serial reference implementation of [`generate_walks`], used by tests and
@@ -73,6 +106,10 @@ pub fn generate_walks_serial(g: &TemporalGraph, cfg: &WalkConfig) -> WalkSet {
 /// use for that `(walk, vertex)` pair, so refreshed walks match full-run
 /// walks exactly.
 ///
+/// Prepares the sampler internally; incremental pipelines that refresh
+/// repeatedly against one snapshot should prepare once and call
+/// [`generate_walks_from_prepared`].
+///
 /// # Panics
 ///
 /// Panics if any source id is out of range.
@@ -82,21 +119,35 @@ pub fn generate_walks_from(
     sources: &[NodeId],
     par: &ParConfig,
 ) -> WalkSet {
+    let prepared = cfg.sampler.prepare(g);
+    generate_walks_from_prepared(g, cfg, &prepared, sources, par)
+}
+
+/// [`generate_walks_from`] against an already-prepared sampler.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range or `sampler` was prepared for a
+/// graph of a different shape.
+pub fn generate_walks_from_prepared(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    sources: &[NodeId],
+    par: &ParConfig,
+) -> WalkSet {
+    assert!(sampler.matches_graph(g), "sampler was prepared for a different graph");
     let n = g.num_nodes();
-    assert!(
-        sources.iter().all(|&v| (v as usize) < n),
-        "walk source out of range"
-    );
+    assert!(sources.iter().all(|&v| (v as usize) < n), "walk source out of range");
     let k = cfg.walks_per_node;
     let nl = cfg.max_length;
     let total = sources.len() * k;
     let mut nodes = vec![0 as NodeId; total * nl];
     let mut lengths = vec![0u32; total];
-    let span = g.time_span().max(f64::MIN_POSITIVE);
     if !sources.is_empty() {
         let nodes_ptr = nodes.as_mut_ptr() as usize;
         let lengths_ptr = lengths.as_mut_ptr() as usize;
-        parallel_chunks(par, total, |start, end| {
+        parallel_chunks_shared(par, sampler, total, |sampler, start, end| {
             // SAFETY: disjoint chunk ranges; each output row written once.
             let nodes = nodes_ptr as *mut NodeId;
             let lengths = lengths_ptr as *mut u32;
@@ -105,18 +156,23 @@ pub fn generate_walks_from(
                 let v = sources[idx % sources.len()];
                 let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
                 let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
-                let len = walk_into(g, span, cfg, v, &mut rng, row);
+                let len = walk_into(g, sampler, cfg, v, &mut rng, row);
                 unsafe { *lengths.add(idx) = len as u32 };
             }
         });
     }
-    WalkSet::from_parts(nodes, lengths, nl)
+    WalkSet::from_parts(nodes, lengths, nl).with_sampler_stats(sampler.stats())
 }
 
 /// Performs a single temporal walk from `start` and returns its vertices.
 ///
-/// Exposed for diagnostics and doc examples; the bulk kernel writes into a
-/// preallocated matrix instead.
+/// This is the *direct-evaluation* reference: transition probabilities are
+/// recomputed from raw timestamps at every step with no precomputed
+/// tables. For [`TransitionSampler::Uniform`] and
+/// [`TransitionSampler::LinearTime`] it draws from the RNG exactly like
+/// the prepared kernel, so single walks match bulk rows bit-for-bit; the
+/// softmax variants agree in distribution (the tables anchor weights per
+/// segment rather than per candidate set, so round-off can differ).
 ///
 /// # Examples
 ///
@@ -139,14 +195,67 @@ pub fn walk_from(
 ) -> Vec<NodeId> {
     let mut buf = vec![0 as NodeId; cfg.max_length];
     let span = g.time_span().max(f64::MIN_POSITIVE);
-    let len = walk_into(g, span, cfg, start, rng, &mut buf);
+    let len = walk_into_direct(g, span, cfg, start, rng, &mut buf);
     buf.truncate(len);
     buf
 }
 
-/// Core of Algorithm 1: walks from `start`, writing vertices into `out`,
-/// returning the number of vertices written (≥ 1).
+/// Index where the temporally-valid suffix of a time-sorted segment
+/// begins: strict (`t > now`) after the first hop, inclusive on the first
+/// hop when a finite start time is set, everything when timestamps are
+/// ignored (static DeepWalk mode).
+#[inline]
+fn suffix_start(times: &[Time], cfg: &WalkConfig, now: Time, first_hop: bool) -> usize {
+    if !cfg.respect_time {
+        0
+    } else if first_hop {
+        if now.is_finite() {
+            times.partition_point(|&t| t < now)
+        } else {
+            0
+        }
+    } else {
+        times.partition_point(|&t| t <= now)
+    }
+}
+
+/// Core of Algorithm 1 on the prepared-sampler path: walks from `start`,
+/// writing vertices into `out`, returning the number written (≥ 1).
 fn walk_into(
+    g: &TemporalGraph,
+    sampler: &PreparedSampler,
+    cfg: &WalkConfig,
+    start: NodeId,
+    rng: &mut WalkRng,
+    out: &mut [NodeId],
+) -> usize {
+    debug_assert!(out.len() >= cfg.max_length);
+    out[0] = start;
+    let mut len = 1usize;
+    let mut curr = start;
+    let mut curr_time = cfg.start_time;
+    let mut first_hop = true;
+
+    while len < cfg.max_length {
+        let (dsts, times) = g.neighbor_slices(curr);
+        let lo = suffix_start(times, cfg, curr_time, first_hop);
+        if lo >= dsts.len() {
+            break; // Algorithm 1 line 9: dead end.
+        }
+        let pick = sampler.sample(curr, times, lo, curr_time, rng);
+        curr = dsts[pick];
+        curr_time = times[pick];
+        out[len] = curr;
+        len += 1;
+        first_hop = false;
+    }
+    len
+}
+
+/// Direct-evaluation twin of [`walk_into`]: recomputes transition weights
+/// from raw timestamps at every step (the seed kernel's behavior), kept as
+/// the reference the prepared path is tested against.
+fn walk_into_direct(
     g: &TemporalGraph,
     span: f64,
     cfg: &WalkConfig,
@@ -162,31 +271,17 @@ fn walk_into(
     let mut first_hop = true;
 
     while len < cfg.max_length {
-        // Temporally-valid candidate set: binary search over the
-        // timestamp-sorted segment (the paper's `sampleLatest` without the
-        // O(M) scan).
-        let (dsts, times) = if !cfg.respect_time {
-            g.neighbor_slices(curr)
-        } else if first_hop {
-            if curr_time.is_finite() {
-                g.neighbors_from(curr, curr_time)
-            } else {
-                g.neighbor_slices(curr)
-            }
-        } else {
-            g.neighbors_after(curr, curr_time)
-        };
-        if dsts.is_empty() {
-            break; // Algorithm 1 line 9: dead end.
+        let (dsts, times) = g.neighbor_slices(curr);
+        let lo = suffix_start(times, cfg, curr_time, first_hop);
+        if lo >= dsts.len() {
+            break;
         }
-
+        let (dsts, times) = (&dsts[lo..], &times[lo..]);
         let pick = match cfg.sampler {
             TransitionSampler::Uniform => rng.next_bounded(dsts.len()),
-            TransitionSampler::Softmax => sample_softmax(times, span, rng, false, curr_time),
-            TransitionSampler::SoftmaxRecency => {
-                sample_softmax(times, span, rng, true, curr_time)
-            }
-            TransitionSampler::LinearTime => sample_linear(dsts.len(), rng),
+            TransitionSampler::Softmax => direct_softmax(times, span, rng, false, curr_time),
+            TransitionSampler::SoftmaxRecency => direct_softmax(times, span, rng, true, curr_time),
+            TransitionSampler::LinearTime => direct_linear(dsts.len(), rng),
         };
 
         curr = dsts[pick];
@@ -196,60 +291,6 @@ fn walk_into(
         first_hop = false;
     }
     len
-}
-
-/// Samples an index from the softmax distribution of paper Eq. (1) over the
-/// candidate timestamps. With `recency` the exponent is negated and shifted
-/// by the current time, preferring the temporally-nearest interaction.
-fn sample_softmax(times: &[Time], span: f64, rng: &mut WalkRng, recency: bool, now: Time) -> usize {
-    debug_assert!(!times.is_empty());
-    if times.len() == 1 {
-        return 0;
-    }
-    // Numerically stable: subtract the max exponent before exponentiating.
-    let base = if now.is_finite() { now } else { 0.0 };
-    let exponent = |t: Time| -> f64 {
-        if recency {
-            -(t - base) / span
-        } else {
-            t / span
-        }
-    };
-    let mut max_e = f64::NEG_INFINITY;
-    for &t in times {
-        max_e = max_e.max(exponent(t));
-    }
-    let mut total = 0.0;
-    // Candidate sets are usually small (bounded by degree); two passes keep
-    // this allocation-free.
-    for &t in times {
-        total += (exponent(t) - max_e).exp();
-    }
-    let target = rng.next_f64() * total;
-    let mut acc = 0.0;
-    for (i, &t) in times.iter().enumerate() {
-        acc += (exponent(t) - max_e).exp();
-        if target < acc {
-            return i;
-        }
-    }
-    times.len() - 1
-}
-
-/// Samples index `i ∈ 0..len` with probability proportional to `i + 1`
-/// (candidates are time-sorted ascending, so the latest edge has the
-/// highest rank) — CTDNE's linear temporal bias, computed in O(1) by
-/// inverting the triangular CDF.
-fn sample_linear(len: usize, rng: &mut WalkRng) -> usize {
-    debug_assert!(len > 0);
-    if len == 1 {
-        return 0;
-    }
-    // CDF(i) = (i+1)(i+2)/2 over total len(len+1)/2; invert with sqrt.
-    let total = (len * (len + 1) / 2) as f64;
-    let target = rng.next_f64() * total;
-    
-    ((((8.0 * target + 1.0).sqrt() - 1.0) / 2.0).floor() as usize).min(len - 1)
 }
 
 #[cfg(test)]
@@ -317,9 +358,7 @@ mod tests {
 
     #[test]
     fn all_walks_are_temporally_valid() {
-        let g = tgraph::gen::preferential_attachment(400, 2, 3)
-            .undirected(true)
-            .build();
+        let g = tgraph::gen::preferential_attachment(400, 2, 3).undirected(true).build();
         for sampler in [
             TransitionSampler::Uniform,
             TransitionSampler::Softmax,
@@ -354,6 +393,56 @@ mod tests {
         let serial = generate_walks_serial(&g, &cfg);
         let parallel = generate_walks(&g, &cfg, &ParConfig::with_threads(8).chunk_size(13));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn prepared_sampler_is_reusable_across_runs() {
+        let g = tgraph::gen::erdos_renyi(150, 1_500, 4).build();
+        for sampler in [
+            TransitionSampler::Uniform,
+            TransitionSampler::Softmax,
+            TransitionSampler::SoftmaxRecency,
+            TransitionSampler::LinearTime,
+        ] {
+            let cfg = WalkConfig::new(3, 6).sampler(sampler).seed(2);
+            let prepared = sampler.prepare(&g);
+            let one_shot = generate_walks(&g, &cfg, &ParConfig::with_threads(2));
+            let reused_a =
+                generate_walks_prepared(&g, &cfg, &prepared, &ParConfig::with_threads(4));
+            let reused_b =
+                generate_walks_prepared(&g, &cfg, &prepared, &ParConfig::with_threads(1));
+            assert_eq!(one_shot, reused_a);
+            assert_eq!(reused_a, reused_b);
+        }
+    }
+
+    #[test]
+    fn prepared_walks_match_direct_reference_for_table_free_samplers() {
+        // Uniform and LinearTime consume the RNG identically on both
+        // paths, so bulk rows equal single direct walks bit-for-bit.
+        let g = tgraph::gen::preferential_attachment(300, 3, 9).undirected(true).build();
+        let n = g.num_nodes();
+        for sampler in [TransitionSampler::Uniform, TransitionSampler::LinearTime] {
+            let cfg = WalkConfig::new(2, 7).sampler(sampler).seed(13);
+            let bulk = generate_walks_serial(&g, &cfg);
+            for w in 0..cfg.walks_per_node {
+                for v in 0..n {
+                    let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
+                    let direct = walk_from(&g, &cfg, v as NodeId, &mut rng);
+                    assert_eq!(bulk.walk(w * n + v), direct.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared for a different graph")]
+    fn mismatched_prepared_sampler_is_rejected() {
+        let a = tgraph::gen::erdos_renyi(50, 400, 1).build();
+        let b = tgraph::gen::erdos_renyi(60, 500, 2).build();
+        let prepared = TransitionSampler::Softmax.prepare(&a);
+        let _ =
+            generate_walks_prepared(&b, &WalkConfig::new(1, 4), &prepared, &ParConfig::default());
     }
 
     #[test]
@@ -422,6 +511,35 @@ mod tests {
     }
 
     #[test]
+    fn refresh_rows_match_full_run_for_every_sampler() {
+        let g = tgraph::gen::preferential_attachment(200, 3, 6).undirected(true).build();
+        let sources = [0u32, 17, 65, 130, 199];
+        for sampler in [
+            TransitionSampler::Uniform,
+            TransitionSampler::Softmax,
+            TransitionSampler::SoftmaxRecency,
+            TransitionSampler::LinearTime,
+        ] {
+            let cfg = WalkConfig::new(2, 6).sampler(sampler).seed(21);
+            let prepared = sampler.prepare(&g);
+            let full = generate_walks_prepared(&g, &cfg, &prepared, &ParConfig::with_threads(3));
+            let partial = generate_walks_from_prepared(
+                &g,
+                &cfg,
+                &prepared,
+                &sources,
+                &ParConfig::with_threads(2),
+            );
+            let n = g.num_nodes();
+            for w in 0..cfg.walks_per_node {
+                for (i, &v) in sources.iter().enumerate() {
+                    assert_eq!(partial.walk(w * sources.len() + i), full.walk(w * n + v as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn walks_from_empty_sources_is_empty() {
         let g = tgraph::gen::erdos_renyi(10, 50, 1).build();
         let w = generate_walks_from(&g, &WalkConfig::new(2, 4), &[], &ParConfig::default());
@@ -430,11 +548,17 @@ mod tests {
 
     #[test]
     fn isolated_vertex_yields_singleton_walk() {
-        let g = GraphBuilder::new()
-            .add_edge(TemporalEdge::new(0, 1, 0.5))
-            .num_nodes(5)
-            .build();
+        let g = GraphBuilder::new().add_edge(TemporalEdge::new(0, 1, 0.5)).num_nodes(5).build();
         let walks = generate_walks_serial(&g, &WalkConfig::new(1, 4));
         assert_eq!(walks.walk(4), &[4]);
+    }
+
+    #[test]
+    fn generated_walksets_carry_build_stats() {
+        let g = tgraph::gen::erdos_renyi(50, 500, 2).build();
+        let cfg = WalkConfig::new(1, 4).sampler(TransitionSampler::Softmax);
+        let walks = generate_walks_serial(&g, &cfg);
+        let stats = walks.sampler_stats().expect("bulk runs record stats");
+        assert!(stats.table_bytes > 0);
     }
 }

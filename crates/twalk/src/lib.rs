@@ -17,7 +17,17 @@
 //! * [`TransitionSampler::SoftmaxRecency`] — the temporal-continuity variant
 //!   motivated by the paper's Fig. 2 discussion, weighting candidates by
 //!   `exp(-(τ(u, v) - t_curr) / r)` so interactions nearer in time are
-//!   preferred.
+//!   preferred;
+//! * [`TransitionSampler::LinearTime`] — CTDNE's linear rank bias.
+//!
+//! Sampling runs through a prepare-then-sample API: the configuration enum
+//! [`prepare`](TransitionSampler::prepare)s into a [`PreparedSampler`] —
+//! for the softmax variants, per-vertex cumulative-weight tables that turn
+//! each step's `O(d)` exponentiation loop into one uniform draw and one
+//! binary search (`O(log d)`); see the [`sampler`] module. The prepared
+//! sampler is built once per graph, shared read-only across worker
+//! threads, and reusable across bulk and incremental-refresh runs. Custom
+//! bias functions plug in via the [`TransitionBias`] trait.
 //!
 //! The middle loop over vertices is parallelized with work stealing, exactly
 //! as the paper found optimal, and results are deterministic in the seed
@@ -40,10 +50,15 @@
 mod config;
 mod engine;
 mod rng;
+pub mod sampler;
 pub mod stats;
 mod walkset;
 
 pub use config::{TransitionSampler, WalkConfig};
-pub use engine::{generate_walks, generate_walks_from, generate_walks_serial, walk_from};
+pub use engine::{
+    generate_walks, generate_walks_from, generate_walks_from_prepared, generate_walks_prepared,
+    generate_walks_serial, walk_from,
+};
 pub use rng::WalkRng;
+pub use sampler::{PreparedSampler, SamplerBuildStats, TransitionBias};
 pub use walkset::WalkSet;

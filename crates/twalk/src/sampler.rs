@@ -1,0 +1,458 @@
+//! Transition sampling: precomputed per-vertex CDF tables and the
+//! pluggable bias seam.
+//!
+//! The paper's Eq. (1) softmax is the compute-heavy part of the walk
+//! kernel: evaluated directly, every step exponentiates each candidate
+//! timestamp (three passes over the temporally-valid suffix). But the
+//! weights depend only on the edge timestamps and the graph-wide span `r`
+//! — not on the walk state — so for a fixed graph they can be
+//! precomputed *once* as per-segment prefix sums. Sampling from any valid
+//! suffix `[lo..deg)` then costs one subtraction (to rebase the CDF), one
+//! uniform draw, and one `partition_point` binary search: `O(log d)`
+//! instead of `O(d)` exponentiations per step.
+//!
+//! Numerical stability comes from anchoring each vertex's weights at its
+//! own segment extreme: softmax weights are `exp((t - t_seg_max) / r)`,
+//! recency weights `exp(-(t - t_seg_min) / r)`. A segment's time range
+//! never exceeds the global span `r`, so every stored weight lies in
+//! `[e^-1, 1]` and the prefix sums are well conditioned. The recency
+//! variant's dependence on the walk's current time cancels under
+//! normalization (`exp(-(t - now)/r) = exp(-t/r) · exp(now/r)`, and the
+//! second factor is constant across the candidate set), which is what
+//! makes precomputation valid at all.
+//!
+//! [`TransitionSampler::prepare`] turns the configuration enum into a
+//! [`PreparedSampler`] — built once per graph, shared read-only across
+//! worker threads, reusable across [`crate::generate_walks_prepared`] and
+//! [`crate::generate_walks_from_prepared`] calls on the same graph.
+//! Custom bias functions plug in through the [`TransitionBias`] trait via
+//! [`PreparedSampler::custom`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tgraph::{NodeId, TemporalGraph, Time};
+
+use crate::{TransitionSampler, WalkRng};
+
+/// A pluggable transition bias: chooses the next edge among the
+/// temporally-valid suffix of a vertex's time-sorted neighbor segment.
+///
+/// Implementations receive the *full* segment timestamp slice plus the
+/// index `lo` where the valid suffix begins, and must return an absolute
+/// segment index in `lo..times.len()`. `now` is the timestamp of the edge
+/// the walk last traversed (`-inf` before the first hop).
+///
+/// Implementations must be deterministic given the RNG stream: walks stay
+/// reproducible in `(seed, sampler)` and independent of thread count.
+pub trait TransitionBias: Send + Sync + std::fmt::Debug {
+    /// Samples an index in `lo..times.len()`.
+    fn sample(&self, v: NodeId, times: &[Time], lo: usize, now: Time, rng: &mut WalkRng) -> usize;
+}
+
+/// Cost of building a [`PreparedSampler`]: wall-clock build time and the
+/// resident size of its tables (zero for table-free samplers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerBuildStats {
+    /// Wall-clock time spent in [`TransitionSampler::prepare`].
+    pub build_time: Duration,
+    /// Bytes held by the precomputed tables.
+    pub table_bytes: usize,
+}
+
+/// A transition sampler bound to one graph, ready for `O(log d)` sampling.
+///
+/// Built by [`TransitionSampler::prepare`] (or [`PreparedSampler::custom`])
+/// and shared read-only across walk worker threads. The softmax variants
+/// carry per-edge cumulative-weight tables aligned with the graph's CSR
+/// edge order; uniform and linear-time sampling need no tables and keep
+/// the exact RNG draw pattern of direct evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use twalk::{generate_walks_prepared, TransitionSampler, WalkConfig};
+/// use par::ParConfig;
+///
+/// let g = tgraph::gen::erdos_renyi(100, 800, 5).build();
+/// let prepared = TransitionSampler::Softmax.prepare(&g);
+/// assert!(prepared.stats().table_bytes > 0);
+/// let cfg = WalkConfig::new(4, 6).sampler(TransitionSampler::Softmax);
+/// // One prepare, many walk runs.
+/// let a = generate_walks_prepared(&g, &cfg, &prepared, &ParConfig::default());
+/// let b = generate_walks_prepared(&g, &cfg, &prepared, &ParConfig::default());
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug)]
+pub struct PreparedSampler {
+    kind: PreparedKind,
+    stats: SamplerBuildStats,
+    num_nodes: usize,
+    num_edges: usize,
+}
+
+#[derive(Debug)]
+enum PreparedKind {
+    /// Uniform over the valid suffix — one bounded draw, no tables.
+    Uniform,
+    /// CTDNE linear rank bias — closed-form CDF inversion, no tables.
+    LinearTime,
+    /// Per-segment cumulative weights aligned with CSR edge order;
+    /// `starts[v]..starts[v + 1]` is vertex `v`'s slice of `cdf`.
+    Cdf { starts: Vec<usize>, cdf: Vec<f64> },
+    /// User-supplied bias function.
+    Custom(Arc<dyn TransitionBias>),
+}
+
+impl TransitionSampler {
+    /// Builds the prepared form of this sampler for `g`.
+    ///
+    /// For the softmax variants this precomputes the per-vertex
+    /// cumulative-weight tables (`O(|E|)` time, one `f64` per edge); for
+    /// [`TransitionSampler::Uniform`] and [`TransitionSampler::LinearTime`]
+    /// it is free.
+    pub fn prepare(self, g: &TemporalGraph) -> PreparedSampler {
+        let t0 = Instant::now();
+        let kind = match self {
+            TransitionSampler::Uniform => PreparedKind::Uniform,
+            TransitionSampler::LinearTime => PreparedKind::LinearTime,
+            TransitionSampler::Softmax => build_cdf(g, false),
+            TransitionSampler::SoftmaxRecency => build_cdf(g, true),
+        };
+        let table_bytes = match &kind {
+            PreparedKind::Cdf { starts, cdf } => {
+                starts.len() * std::mem::size_of::<usize>() + cdf.len() * std::mem::size_of::<f64>()
+            }
+            _ => 0,
+        };
+        PreparedSampler {
+            kind,
+            stats: SamplerBuildStats { build_time: t0.elapsed(), table_bytes },
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+        }
+    }
+}
+
+/// Builds per-segment cumulative weights. `recency` selects the
+/// `exp(-(t - t_seg_min)/r)` weighting, otherwise `exp((t - t_seg_max)/r)`.
+fn build_cdf(g: &TemporalGraph, recency: bool) -> PreparedKind {
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+    let n = g.num_nodes();
+    let mut starts = Vec::with_capacity(n + 1);
+    let mut cdf = Vec::with_capacity(g.num_edges());
+    starts.push(0);
+    for v in 0..n as NodeId {
+        let (_, times) = g.neighbor_slices(v);
+        if !times.is_empty() {
+            // Segments are time-sorted ascending, so the anchor is an end.
+            let anchor = if recency { times[0] } else { times[times.len() - 1] };
+            let mut acc = 0.0;
+            for &t in times {
+                let e = if recency { -(t - anchor) / span } else { (t - anchor) / span };
+                acc += e.exp();
+                cdf.push(acc);
+            }
+        }
+        debug_assert_eq!(cdf.len(), g.segment_range(v).end);
+        starts.push(cdf.len());
+    }
+    PreparedKind::Cdf { starts, cdf }
+}
+
+impl PreparedSampler {
+    /// Wraps a user-supplied [`TransitionBias`] for `g`.
+    pub fn custom(g: &TemporalGraph, bias: Arc<dyn TransitionBias>) -> Self {
+        Self {
+            kind: PreparedKind::Custom(bias),
+            stats: SamplerBuildStats::default(),
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Build cost of this sampler.
+    pub fn stats(&self) -> SamplerBuildStats {
+        self.stats
+    }
+
+    /// Whether this sampler was prepared for a graph of the same shape —
+    /// the cheap sanity check the walk entry points assert.
+    pub fn matches_graph(&self, g: &TemporalGraph) -> bool {
+        self.num_nodes == g.num_nodes() && self.num_edges == g.num_edges()
+    }
+
+    /// Samples the next edge for vertex `v` among the valid suffix
+    /// `times[lo..]`, returning an absolute segment index.
+    ///
+    /// `times` must be `v`'s full time-sorted segment from the graph this
+    /// sampler was prepared for, and `lo < times.len()`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or sample nonsense) if called with a different graph's
+    /// slices; use [`Self::matches_graph`] to guard at entry points.
+    #[inline]
+    pub fn sample(
+        &self,
+        v: NodeId,
+        times: &[Time],
+        lo: usize,
+        now: Time,
+        rng: &mut WalkRng,
+    ) -> usize {
+        let len = times.len() - lo;
+        debug_assert!(len > 0, "empty candidate set");
+        match &self.kind {
+            PreparedKind::Uniform => lo + rng.next_bounded(len),
+            PreparedKind::LinearTime => lo + direct_linear(len, rng),
+            PreparedKind::Cdf { starts, cdf } => {
+                if len == 1 {
+                    return lo;
+                }
+                let seg = &cdf[starts[v as usize]..starts[v as usize + 1]];
+                debug_assert_eq!(seg.len(), times.len());
+                // Rebase the cumulative weights onto the valid suffix: the
+                // suffix total is one subtraction, the pick one binary
+                // search. `partition_point` mirrors direct evaluation's
+                // strict `target < acc` acceptance.
+                let base = if lo == 0 { 0.0 } else { seg[lo - 1] };
+                let total = seg[times.len() - 1] - base;
+                let target = base + rng.next_f64() * total;
+                let pick = lo + seg[lo..].partition_point(|&c| c <= target);
+                // Float round-off can push `target` past the last
+                // cumulative weight; clamp like direct evaluation does.
+                pick.min(times.len() - 1)
+            }
+            PreparedKind::Custom(bias) => {
+                let pick = bias.sample(v, times, lo, now, rng);
+                assert!(
+                    (lo..times.len()).contains(&pick),
+                    "custom bias returned {pick}, outside valid suffix {lo}..{}",
+                    times.len()
+                );
+                pick
+            }
+        }
+    }
+}
+
+/// Direct evaluation of the softmax distribution of paper Eq. (1) over a
+/// candidate-suffix timestamp slice — the executable reference the CDF
+/// tables are verified against. With `recency` the exponent is negated
+/// and shifted by the current time.
+pub(crate) fn direct_softmax(
+    times: &[Time],
+    span: f64,
+    rng: &mut WalkRng,
+    recency: bool,
+    now: Time,
+) -> usize {
+    debug_assert!(!times.is_empty());
+    if times.len() == 1 {
+        return 0;
+    }
+    // Numerically stable: subtract the max exponent before exponentiating.
+    let base = if now.is_finite() { now } else { 0.0 };
+    let exponent = |t: Time| -> f64 {
+        if recency {
+            -(t - base) / span
+        } else {
+            t / span
+        }
+    };
+    let mut max_e = f64::NEG_INFINITY;
+    for &t in times {
+        max_e = max_e.max(exponent(t));
+    }
+    let mut total = 0.0;
+    // Candidate sets are usually small (bounded by degree); two passes keep
+    // this allocation-free.
+    for &t in times {
+        total += (exponent(t) - max_e).exp();
+    }
+    let target = rng.next_f64() * total;
+    let mut acc = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        acc += (exponent(t) - max_e).exp();
+        if target < acc {
+            return i;
+        }
+    }
+    times.len() - 1
+}
+
+/// Samples index `i ∈ 0..len` with probability proportional to `i + 1`
+/// (candidates are time-sorted ascending, so the latest edge has the
+/// highest rank) — CTDNE's linear temporal bias, computed in O(1) by
+/// inverting the triangular CDF.
+pub(crate) fn direct_linear(len: usize, rng: &mut WalkRng) -> usize {
+    debug_assert!(len > 0);
+    if len == 1 {
+        return 0;
+    }
+    // CDF(i) = (i+1)(i+2)/2 over total len(len+1)/2; invert with sqrt.
+    let total = (len * (len + 1) / 2) as f64;
+    let target = rng.next_f64() * total;
+
+    ((((8.0 * target + 1.0).sqrt() - 1.0) / 2.0).floor() as usize).min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{GraphBuilder, TemporalEdge};
+
+    fn star(times: &[f64]) -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        for (i, &t) in times.iter().enumerate() {
+            b = b.add_edge(TemporalEdge::new(0, i as NodeId + 1, t));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_and_linear_need_no_tables() {
+        let g = star(&[0.1, 0.5, 0.9]);
+        for s in [TransitionSampler::Uniform, TransitionSampler::LinearTime] {
+            let p = s.prepare(&g);
+            assert_eq!(p.stats().table_bytes, 0);
+            assert!(p.matches_graph(&g));
+        }
+    }
+
+    #[test]
+    fn cdf_tables_cover_every_edge() {
+        let g = tgraph::gen::erdos_renyi(40, 300, 3).build();
+        let p = TransitionSampler::Softmax.prepare(&g);
+        // One f64 per edge plus the n+1 segment starts.
+        let expected = g.num_edges() * 8 + (g.num_nodes() + 1) * std::mem::size_of::<usize>();
+        assert_eq!(p.stats().table_bytes, expected);
+    }
+
+    #[test]
+    fn prepared_uniform_matches_direct_draws_exactly() {
+        let g = star(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let p = TransitionSampler::Uniform.prepare(&g);
+        let (_, times) = g.neighbor_slices(0);
+        for lo in 0..times.len() {
+            let mut a = WalkRng::new(7);
+            let mut b = WalkRng::new(7);
+            for _ in 0..100 {
+                let x = p.sample(0, times, lo, f64::NEG_INFINITY, &mut a);
+                let y = lo + b.next_bounded(times.len() - lo);
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_sample_stays_in_valid_suffix() {
+        let g = star(&[0.05, 0.2, 0.21, 0.6, 0.61, 0.99]);
+        for s in [TransitionSampler::Softmax, TransitionSampler::SoftmaxRecency] {
+            let p = s.prepare(&g);
+            let (_, times) = g.neighbor_slices(0);
+            let mut rng = WalkRng::new(11);
+            for lo in 0..times.len() {
+                for _ in 0..500 {
+                    let pick = p.sample(
+                        0,
+                        times,
+                        lo,
+                        times.get(lo.wrapping_sub(1)).copied().unwrap_or(f64::NEG_INFINITY),
+                        &mut rng,
+                    );
+                    assert!((lo..times.len()).contains(&pick));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_suffix_draws_nothing_from_rng() {
+        // Matches direct evaluation: a forced move must not consume RNG
+        // state, or prepared and direct walks would diverge on every
+        // degree-1 chain.
+        let g = star(&[0.4]);
+        for s in [
+            TransitionSampler::Softmax,
+            TransitionSampler::SoftmaxRecency,
+            TransitionSampler::LinearTime,
+        ] {
+            let p = s.prepare(&g);
+            let (_, times) = g.neighbor_slices(0);
+            let mut rng = WalkRng::new(3);
+            let before = rng.clone().next_u64();
+            assert_eq!(p.sample(0, times, 0, 0.0, &mut rng), 0);
+            assert_eq!(rng.next_u64(), before);
+        }
+    }
+
+    #[test]
+    fn custom_bias_is_invoked() {
+        #[derive(Debug)]
+        struct AlwaysLatest;
+        impl TransitionBias for AlwaysLatest {
+            fn sample(
+                &self,
+                _v: NodeId,
+                times: &[Time],
+                lo: usize,
+                _now: Time,
+                _rng: &mut WalkRng,
+            ) -> usize {
+                let _ = lo;
+                times.len() - 1
+            }
+        }
+        let g = star(&[0.1, 0.5, 0.9]);
+        let p = PreparedSampler::custom(&g, Arc::new(AlwaysLatest));
+        let (_, times) = g.neighbor_slices(0);
+        let mut rng = WalkRng::new(1);
+        assert_eq!(p.sample(0, times, 1, 0.0, &mut rng), 2);
+        assert_eq!(p.stats().table_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside valid suffix")]
+    fn custom_bias_escaping_suffix_is_caught() {
+        #[derive(Debug)]
+        struct Bad;
+        impl TransitionBias for Bad {
+            fn sample(&self, _: NodeId, _: &[Time], _: usize, _: Time, _: &mut WalkRng) -> usize {
+                0
+            }
+        }
+        let g = star(&[0.1, 0.9]);
+        let p = PreparedSampler::custom(&g, Arc::new(Bad));
+        let (_, times) = g.neighbor_slices(0);
+        p.sample(0, times, 1, 0.0, &mut WalkRng::new(1));
+    }
+
+    #[test]
+    fn cdf_distribution_tracks_analytic_softmax() {
+        // 10k draws over a 4-candidate suffix; empirical frequencies must
+        // match the closed-form Eq. (1) probabilities.
+        let times = [0.0, 0.3, 0.6, 1.0];
+        let g = star(&times);
+        let span: f64 = 1.0;
+        let p = TransitionSampler::Softmax.prepare(&g);
+        let (_, seg) = g.neighbor_slices(0);
+        let weights: Vec<f64> = times.iter().map(|&t| (t / span).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut counts = [0usize; 4];
+        let mut rng = WalkRng::new(5);
+        let draws = 10_000;
+        for _ in 0..draws {
+            counts[p.sample(0, seg, 0, f64::NEG_INFINITY, &mut rng)] += 1;
+        }
+        for i in 0..4 {
+            let expect = weights[i] / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "candidate {i}: empirical {got:.3} vs analytic {expect:.3}"
+            );
+        }
+    }
+}

@@ -37,12 +37,7 @@ pub fn length_stats(walks: &WalkSet) -> WalkLengthStats {
     let mean = walks.mean_length();
     let short: u64 = histogram.iter().take(6).sum();
     let short_fraction = if total > 0 { short as f64 / total as f64 } else { 0.0 };
-    WalkLengthStats {
-        log_log_slope: log_log_slope(&histogram),
-        histogram,
-        mean,
-        short_fraction,
-    }
+    WalkLengthStats { log_log_slope: log_log_slope(&histogram), histogram, mean, short_fraction }
 }
 
 /// Least-squares slope of `ln(count)` against `ln(length)` over buckets
@@ -97,9 +92,7 @@ mod tests {
     fn pa_graph_walks_are_short_dominated() {
         // The Fig. 4 reproduction in miniature: on a power-law temporal
         // graph, most walks terminate quickly.
-        let g = tgraph::gen::preferential_attachment(2_000, 2, 9)
-            .undirected(true)
-            .build();
+        let g = tgraph::gen::preferential_attachment(2_000, 2, 9).undirected(true).build();
         let walks = generate_walks_serial(&g, &WalkConfig::new(5, 40).seed(1));
         let stats = length_stats(&walks);
         assert!(

@@ -2,22 +2,53 @@
 
 use tgraph::NodeId;
 
+use crate::sampler::SamplerBuildStats;
+
 /// A set of temporal walks in the paper's `|V| × K × N` matrix layout:
 /// a flat vertex buffer with stride `max_length` plus per-walk lengths.
 ///
 /// Walk `i` occupies `nodes[i * max_length .. i * max_length + lengths[i]]`;
 /// unused tail slots are left as a sentinel and never exposed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Sets produced by the bulk kernel also carry the sampler's
+/// [`SamplerBuildStats`]; equality compares walk content only, so two runs
+/// with different build timings still compare equal.
+#[derive(Debug, Clone)]
 pub struct WalkSet {
     nodes: Vec<NodeId>,
     lengths: Vec<u32>,
     max_length: usize,
+    sampler_stats: Option<SamplerBuildStats>,
 }
+
+impl PartialEq for WalkSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Build stats are timing metadata, not walk content.
+        self.nodes == other.nodes
+            && self.lengths == other.lengths
+            && self.max_length == other.max_length
+    }
+}
+
+impl Eq for WalkSet {}
 
 impl WalkSet {
     pub(crate) fn from_parts(nodes: Vec<NodeId>, lengths: Vec<u32>, max_length: usize) -> Self {
         debug_assert_eq!(nodes.len(), lengths.len() * max_length);
-        Self { nodes, lengths, max_length }
+        Self { nodes, lengths, max_length, sampler_stats: None }
+    }
+
+    /// Attaches the generating sampler's build stats.
+    #[must_use]
+    pub(crate) fn with_sampler_stats(mut self, stats: SamplerBuildStats) -> Self {
+        self.sampler_stats = Some(stats);
+        self
+    }
+
+    /// Build cost of the sampler that generated this set, when it came
+    /// from the bulk kernel (`None` for hand-assembled sets).
+    pub fn sampler_stats(&self) -> Option<SamplerBuildStats> {
+        self.sampler_stats
     }
 
     /// Number of walks stored (equals `K × |V|` for a full run).
@@ -97,7 +128,7 @@ impl WalkSet {
             nodes[i * max_length..i * max_length + w.len()].copy_from_slice(w);
             lengths.push(w.len() as u32);
         }
-        Self { nodes, lengths, max_length }
+        Self { nodes, lengths, max_length, sampler_stats: None }
     }
 }
 
@@ -133,5 +164,17 @@ mod tests {
     #[should_panic(expected = "is empty")]
     fn empty_walk_rejected() {
         let _ = WalkSet::from_walks(&[vec![]], 2);
+    }
+
+    #[test]
+    fn equality_ignores_sampler_stats() {
+        let a = WalkSet::from_walks(&[vec![1, 2]], 2);
+        let b = a.clone().with_sampler_stats(SamplerBuildStats {
+            build_time: std::time::Duration::from_millis(5),
+            table_bytes: 64,
+        });
+        assert_eq!(a, b);
+        assert!(a.sampler_stats().is_none());
+        assert!(b.sampler_stats().is_some());
     }
 }

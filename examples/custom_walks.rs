@@ -10,15 +10,12 @@ use rwalk_repro::prelude::*;
 use twalk::{generate_walks, TransitionSampler, WalkConfig};
 
 fn main() {
-    let graph = tgraph::gen::preferential_attachment(3_000, 2, 3)
-        .undirected(true)
-        .build();
+    let graph = tgraph::gen::preferential_attachment(3_000, 2, 3).undirected(true).build();
 
     // Compare the paper's two transition models on the same graph.
-    for (name, sampler) in [
-        ("uniform", TransitionSampler::Uniform),
-        ("softmax (Eq. 1)", TransitionSampler::Softmax),
-    ] {
+    for (name, sampler) in
+        [("uniform", TransitionSampler::Uniform), ("softmax (Eq. 1)", TransitionSampler::Softmax)]
+    {
         let cfg = WalkConfig::new(10, 40).sampler(sampler).seed(7);
         let walks = generate_walks(&graph, &cfg, &par::ParConfig::default());
         let stats = twalk::stats::length_stats(&walks);
@@ -32,9 +29,7 @@ fn main() {
     }
 
     // Train embeddings on the softmax corpus and explore the space.
-    let cfg = WalkConfig::new(10, 6)
-        .sampler(TransitionSampler::Softmax)
-        .seed(7);
+    let cfg = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(7);
     let walks = generate_walks(&graph, &cfg, &par::ParConfig::default());
     let emb = embed::train(
         &walks,

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use rwalk_repro::prelude::*;
 use rwalk_core::IncrementalEmbedder;
+use rwalk_repro::prelude::*;
 use tgraph::TemporalEdge;
 
 fn main() {
@@ -26,16 +26,18 @@ fn main() {
     println!("initial full embedding build: {:.3}s", t0.elapsed().as_secs_f64());
 
     // A day of new interactions arrives: a burst around one hub.
-    let hub = (0..base.num_nodes() as u32)
-        .max_by_key(|&v| base.out_degree(v))
-        .expect("non-empty graph");
+    let hub =
+        (0..base.num_nodes() as u32).max_by_key(|&v| base.out_degree(v)).expect("non-empty graph");
     let updates: Vec<TemporalEdge> = (0..300)
         .map(|i| TemporalEdge::new(hub, (i * 7) % base.num_nodes() as u32, 1.0 + i as f64 * 1e-4))
         .filter(|e| e.src != e.dst)
         .collect();
     inc.ingest(updates);
-    println!("ingested {} new interactions around hub {hub} ({} dirty vertices)",
-        300, inc.pending_dirty());
+    println!(
+        "ingested {} new interactions around hub {hub} ({} dirty vertices)",
+        300,
+        inc.pending_dirty()
+    );
 
     let t0 = Instant::now();
     let emb = inc.refresh();
@@ -50,8 +52,6 @@ fn main() {
 
     // Quality check: the evolved graph still supports link prediction.
     let evolved = inc.snapshot();
-    let report = Pipeline::new(hp)
-        .run_link_prediction(&evolved)
-        .expect("valid graph");
+    let report = Pipeline::new(hp).run_link_prediction(&evolved).expect("valid graph");
     println!("\nlink prediction on evolved graph: {}", report.summary());
 }

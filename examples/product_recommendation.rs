@@ -34,13 +34,8 @@ fn main() {
     // Phase 4: train the paper's 2-layer FNN.
     let mut mlp = Mlp::new(&[2 * hp.dim, hp.hidden, 1], OutputHead::Binary, 5);
     let trainer = Trainer::new(hp.train_options());
-    let report = trainer.fit_binary(
-        &mut mlp,
-        &data.x_train,
-        &data.y_train,
-        &data.x_valid,
-        &data.y_valid,
-    );
+    let report =
+        trainer.fit_binary(&mut mlp, &data.x_train, &data.y_train, &data.x_valid, &data.y_valid);
     println!(
         "trained {} epochs, validation accuracy {:.3}",
         report.epochs.len(),

@@ -13,18 +13,12 @@ fn main() {
         .undirected(true)
         .normalize_times(true)
         .build();
-    println!(
-        "graph: {} nodes, {} temporal edges",
-        graph.num_nodes(),
-        graph.num_edges()
-    );
+    println!("graph: {} nodes, {} temporal edges", graph.num_nodes(), graph.num_edges());
 
     // The paper's optimal hyperparameters: K = 10 walks per node of
     // length <= 6, embedded into 8 dimensions.
     let hp = Hyperparams::paper_optimal();
-    let report = Pipeline::new(hp)
-        .run_link_prediction(&graph)
-        .expect("graph is large enough");
+    let report = Pipeline::new(hp).run_link_prediction(&graph).expect("graph is large enough");
 
     println!("{}", report.summary());
     println!(

@@ -18,8 +18,11 @@ fn main() {
     println!("snapshot growth:");
     for t in [0.25, 0.5, 0.75, 1.0] {
         let snap = graph.snapshot_until(t);
-        println!("  G_{t}: {} edges ({:.0}%)", snap.num_edges(),
-            100.0 * snap.num_edges() as f64 / graph.num_edges() as f64);
+        println!(
+            "  G_{t}: {} edges ({:.0}%)",
+            snap.num_edges(),
+            100.0 * snap.num_edges() as f64 / graph.num_edges() as f64
+        );
     }
 
     let stats = tgraph::stats::degree_stats(&graph);

@@ -1,62 +1,65 @@
-//! Property-based tests of the Fig. 7 data preparation invariants: splits
+//! Randomized tests of the Fig. 7 data preparation invariants: splits
 //! partition the edges, the test set is the temporal tail, negatives are
 //! graph-absent and unique, and features line up with labels.
+//!
+//! Formerly proptest-based; the offline toolchain has no proptest, so the
+//! cases are drawn from a seeded RNG loop instead — same coverage,
+//! deterministic by construction.
 
-use proptest::prelude::*;
-use rwalk_repro::prelude::*;
 use dataprep::{link_prediction_data, temporal_edge_split, SplitRatios};
 use embed::EmbeddingMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use tgraph::TemporalGraph;
 
-fn arb_graph() -> impl Strategy<Value = TemporalGraph> {
-    (20usize..80, 100usize..400, 0u64..500).prop_map(|(n, m, seed)| {
-        // Keep graphs sparse enough that every positive edge has a unique
-        // graph-absent negative available (a documented requirement of
-        // `temporal_edge_split`).
-        let m = m.min(n * (n - 1) / 3);
-        tgraph::gen::erdos_renyi(n, m, seed).build()
-    })
+fn random_graph(rng: &mut StdRng) -> TemporalGraph {
+    let n = rng.gen_range(20..80usize);
+    let m = rng.gen_range(100..400usize);
+    // Keep graphs sparse enough that every positive edge has a unique
+    // graph-absent negative available (a documented requirement of
+    // `temporal_edge_split`).
+    let m = m.min(n * (n - 1) / 3);
+    let seed = rng.gen_range(0..500u64);
+    tgraph::gen::erdos_renyi(n, m, seed).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn split_partitions_edges_and_negatives_match(
-        g in arb_graph(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn split_partitions_edges_and_negatives_match() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let g = random_graph(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         let s = temporal_edge_split(&g, SplitRatios::default(), seed);
-        prop_assert_eq!(
-            s.train_pos.len() + s.valid_pos.len() + s.test_pos.len(),
-            g.num_edges()
-        );
-        prop_assert_eq!(s.train_neg.len(), s.train_pos.len());
-        prop_assert_eq!(s.valid_neg.len(), s.valid_pos.len());
-        prop_assert_eq!(s.test_neg.len(), s.test_pos.len());
+        assert_eq!(s.train_pos.len() + s.valid_pos.len() + s.test_pos.len(), g.num_edges());
+        assert_eq!(s.train_neg.len(), s.train_pos.len());
+        assert_eq!(s.valid_neg.len(), s.valid_pos.len());
+        assert_eq!(s.test_neg.len(), s.test_pos.len());
 
         // Temporal causality: every test edge is no earlier than every
         // train/valid edge.
-        let head_max = s.train_pos.iter().chain(&s.valid_pos)
-            .map(|e| e.time).fold(f64::MIN, f64::max);
+        let head_max =
+            s.train_pos.iter().chain(&s.valid_pos).map(|e| e.time).fold(f64::MIN, f64::max);
         let tail_min = s.test_pos.iter().map(|e| e.time).fold(f64::MAX, f64::min);
-        prop_assert!(head_max <= tail_min);
+        assert!(head_max <= tail_min);
 
         // Negatives: absent from the graph, no self-loops, all distinct.
         let mut seen = HashSet::new();
         for &(u, v) in s.train_neg.iter().chain(&s.valid_neg).chain(&s.test_neg) {
-            prop_assert!(u != v);
-            prop_assert!(!g.has_edge(u, v));
-            prop_assert!(seen.insert((u, v)));
+            assert!(u != v);
+            assert!(!g.has_edge(u, v));
+            assert!(seen.insert((u, v)));
         }
     }
+}
 
-    #[test]
-    fn features_align_with_labels(
-        g in arb_graph(),
-        seed in 0u64..1000,
-        dim in 2usize..6,
-    ) {
+#[test]
+fn features_align_with_labels() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xFEA7);
+        let g = random_graph(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
+        let dim = rng.gen_range(2..6usize);
         let n = g.num_nodes();
         let emb = EmbeddingMatrix::from_vec(
             n,
@@ -71,26 +74,28 @@ proptest! {
             (&data.x_valid, &data.y_valid, &s.valid_pos),
             (&data.x_test, &data.y_test, &s.test_pos),
         ] {
-            prop_assert_eq!(x.rows(), y.len());
-            prop_assert_eq!(x.cols(), 2 * dim);
+            assert_eq!(x.rows(), y.len());
+            assert_eq!(x.cols(), 2 * dim);
             // Labels: first |pos| rows are 1, remainder 0.
             let ones = y.iter().filter(|&&v| v == 1.0).count();
-            prop_assert_eq!(ones, pos.len());
+            assert_eq!(ones, pos.len());
             // Spot-check the first positive row's feature layout.
             if let Some(e) = pos.first() {
                 let feature = emb.edge_feature(e.src, e.dst);
-                prop_assert_eq!(x.row(0), feature.as_slice());
+                assert_eq!(x.row(0), feature.as_slice());
             }
         }
     }
+}
 
-    #[test]
-    fn split_is_deterministic_in_seed(
-        g in arb_graph(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn split_is_deterministic_in_seed() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xD1CE);
+        let g = random_graph(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         let a = temporal_edge_split(&g, SplitRatios::default(), seed);
         let b = temporal_edge_split(&g, SplitRatios::default(), seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -4,10 +4,7 @@
 use rwalk_repro::prelude::*;
 
 fn lp_graph() -> TemporalGraph {
-    tgraph::gen::preferential_attachment(600, 3, 11)
-        .undirected(true)
-        .normalize_times(true)
-        .build()
+    tgraph::gen::preferential_attachment(600, 3, 11).undirected(true).normalize_times(true).build()
 }
 
 #[test]
@@ -73,9 +70,8 @@ fn residual_classifier_extension_runs() {
 fn training_dominates_end_to_end_time() {
     // The paper's headline Table III observation. Use enough epochs that
     // the classifier does meaningful work.
-    let report = Pipeline::new(Hyperparams::paper_optimal())
-        .run_link_prediction(&lp_graph())
-        .unwrap();
+    let report =
+        Pipeline::new(Hyperparams::paper_optimal()).run_link_prediction(&lp_graph()).unwrap();
     assert!(
         report.phase_times.training_fraction() > 0.3,
         "training only {:.0}% of end-to-end",
@@ -87,10 +83,9 @@ fn training_dominates_end_to_end_time() {
 fn baseline_strategies_run_and_beat_chance() {
     use rwalk_core::EmbeddingStrategy;
     let g = lp_graph();
-    for strategy in [
-        EmbeddingStrategy::StaticDeepWalk,
-        EmbeddingStrategy::SnapshotDeepWalk { snapshots: 3 },
-    ] {
+    for strategy in
+        [EmbeddingStrategy::StaticDeepWalk, EmbeddingStrategy::SnapshotDeepWalk { snapshots: 3 }]
+    {
         let hp = Hyperparams::paper_optimal().quick_test().with_strategy(strategy);
         let report = Pipeline::new(hp).run_link_prediction(&g).unwrap();
         assert!(

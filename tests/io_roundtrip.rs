@@ -1,58 +1,73 @@
-//! Property-based IO tests: arbitrary temporal edge lists survive a
-//! `.wel` round trip bit-exactly (graph equality after CSR construction).
+//! Randomized IO tests: seeded random temporal edge lists survive a
+//! `.wel` round trip bit-exactly (graph equality after CSR construction),
+//! and the GEMM kernels agree on random shapes.
+//!
+//! Formerly proptest-based; the offline toolchain has no proptest, so the
+//! cases are drawn from a seeded RNG loop instead — same coverage,
+//! deterministic by construction.
 
-use proptest::prelude::*;
-use rwalk_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tgraph::{GraphBuilder, TemporalEdge};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_edges(
+    rng: &mut StdRng,
+    max_nodes: u32,
+    max_edges: usize,
+    t_hi: f64,
+) -> Vec<TemporalEdge> {
+    let m = rng.gen_range(1..max_edges);
+    (0..m)
+        .map(|_| {
+            TemporalEdge::new(
+                rng.gen_range(0..max_nodes),
+                rng.gen_range(0..max_nodes),
+                rng.gen_range(0.0..t_hi),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn wel_round_trip_preserves_graph(
-        edges in proptest::collection::vec((0u32..50, 0u32..50, 0.0f64..1e6), 1..200),
-    ) {
-        let edges: Vec<TemporalEdge> = edges
-            .into_iter()
-            .map(|(s, d, t)| TemporalEdge::new(s, d, t))
-            .collect();
+#[test]
+fn wel_round_trip_preserves_graph() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = random_edges(&mut rng, 50, 200, 1e6);
         let original = GraphBuilder::new().extend_edges(edges.clone()).build();
 
         let mut buf = Vec::new();
         tgraph::io::write_wel(&mut buf, edges).unwrap();
         let reloaded = tgraph::io::read_wel(buf.as_slice()).unwrap().build();
-        prop_assert_eq!(original, reloaded);
+        assert_eq!(original, reloaded, "round trip diverged for seed {seed}");
     }
+}
 
-    #[test]
-    fn gemm_kernels_agree_on_arbitrary_shapes(
-        m in 1usize..12,
-        k in 1usize..12,
-        n in 1usize..12,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn gemm_kernels_agree_on_arbitrary_shapes() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let (m, k, n) =
+            (rng.gen_range(1..12usize), rng.gen_range(1..12usize), rng.gen_range(1..12usize));
         let a = nn::Tensor2::xavier(m, k, seed);
         let b = nn::Tensor2::xavier(k, n, seed + 1);
         let naive = nn::gemm::matmul_naive(&a, &b);
         let packed = nn::gemm::matmul(&a, &b);
         let parallel = nn::gemm::matmul_parallel(&a, &b, &par::ParConfig::with_threads(3));
         for i in 0..m * n {
-            prop_assert!((naive.as_slice()[i] - packed.as_slice()[i]).abs() < 1e-4);
-            prop_assert!((naive.as_slice()[i] - parallel.as_slice()[i]).abs() < 1e-4);
+            assert!((naive.as_slice()[i] - packed.as_slice()[i]).abs() < 1e-4);
+            assert!((naive.as_slice()[i] - parallel.as_slice()[i]).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn snapshot_edge_counts_are_monotone(
-        edges in proptest::collection::vec((0u32..30, 0u32..30, 0.0f64..1.0), 1..100),
-        t1 in 0.0f64..1.0,
-        t2 in 0.0f64..1.0,
-    ) {
-        let g = GraphBuilder::new()
-            .extend_edges(edges.into_iter().map(|(s, d, t)| TemporalEdge::new(s, d, t)))
-            .build();
+#[test]
+fn snapshot_edge_counts_are_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
+        let g = GraphBuilder::new().extend_edges(random_edges(&mut rng, 30, 100, 1.0)).build();
+        let (t1, t2): (f64, f64) = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
         let (lo, hi) = (t1.min(t2), t1.max(t2));
-        prop_assert!(g.snapshot_until(lo).num_edges() <= g.snapshot_until(hi).num_edges());
-        prop_assert_eq!(g.snapshot_until(2.0).num_edges(), g.num_edges());
+        assert!(g.snapshot_until(lo).num_edges() <= g.snapshot_until(hi).num_edges());
+        assert_eq!(g.snapshot_until(2.0).num_edges(), g.num_edges());
     }
 }

@@ -12,9 +12,7 @@ use rwalk_repro::prelude::*;
 use twalk::{generate_walks_serial, TransitionSampler, WalkConfig};
 
 fn study_graph() -> TemporalGraph {
-    tgraph::gen::preferential_attachment(3_000, 3, 13)
-        .undirected(true)
-        .build()
+    tgraph::gen::preferential_attachment(3_000, 3, 13).undirected(true).build()
 }
 
 #[test]
@@ -53,10 +51,7 @@ fn table3_crossover_gpu_wins_only_at_scale() {
         let cpu_secs = p.ops.total() as f64 * p.work_scale() / 20e9;
         ratios.push(cpu_secs / est.total_secs());
     }
-    assert!(
-        ratios[1] > ratios[0],
-        "GPU should gain on CPU with scale: ratios {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "GPU should gain on CPU with scale: ratios {ratios:?}");
 }
 
 #[test]
@@ -65,11 +60,8 @@ fn fig11_stall_shapes_match_paper() {
     let opts = ProfileOptions::default();
     let walks = generate_walks_serial(&g, &WalkConfig::new(3, 6).seed(3));
 
-    let walk = profile_walk(
-        &g,
-        &WalkConfig::new(5, 6).sampler(TransitionSampler::Softmax).seed(1),
-        &opts,
-    );
+    let walk =
+        profile_walk(&g, &WalkConfig::new(5, 6).sampler(TransitionSampler::Softmax).seed(1), &opts);
     let w2v = profile_word2vec(&walks, 8, 5, 5, g.num_nodes(), &opts);
     let train = profile_training(&[16, 64, 1], 64, 64, &opts);
     let test = profile_testing(&[16, 64, 1], 1_024, 1, &opts);

