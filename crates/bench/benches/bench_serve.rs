@@ -1,0 +1,157 @@
+//! Criterion bench: the online serving subsystem (`rwserve`).
+//!
+//! The headline comparison is micro-batching: 64 concurrent clients
+//! hammering `link_score` through the same serving stack configured as
+//! one-request-per-forward-pass (`max_batch = 1`) vs micro-batched
+//! (`max_batch = 64`). Batching amortizes the per-pass overhead (scorer
+//! wakeup, snapshot load, tensor assembly, GEMM dispatch) across the
+//! whole batch, so the batched configuration must sustain several times
+//! the throughput. The `serve/micro_batch_speedup` entry prints the
+//! measured ratio directly.
+//!
+//! Also covered: the parallel brute-force `topk_neighbors` scan and raw
+//! snapshot load/publish churn.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use embed::EmbeddingMatrix;
+use nn::{Mlp, OutputHead};
+use par::ParConfig;
+use rwserve::{BatchPolicy, EmbeddingStore, QueryEngine, Service};
+use std::hint::black_box;
+
+const CLIENTS: usize = 64;
+const REQUESTS_PER_CLIENT: usize = 64;
+
+/// A serving store over a synthetic embedding table (paper-optimal
+/// `d = 8`, 2-layer FNN with 64 hidden units).
+fn store(n: usize) -> Arc<EmbeddingStore> {
+    let d = 8;
+    let data: Vec<f32> = (0..n * d).map(|i| ((i % 17) as f32 - 8.0) * 0.05).collect();
+    let emb = EmbeddingMatrix::from_vec(n, d, data);
+    Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 64, 1], OutputHead::Binary, 42)))
+}
+
+fn service(policy: BatchPolicy) -> Arc<Service> {
+    Arc::new(Service::new(store(10_000), ParConfig::with_threads(2), policy))
+}
+
+/// One load round: `CLIENTS` threads, each scoring
+/// `REQUESTS_PER_CLIENT` pairs through the micro-batcher. Returns the
+/// wall time of the whole round.
+fn hammer(svc: &Arc<Service>) -> Duration {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS as u32)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            thread::spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT as u32 {
+                    let u = (t * 131 + i * 7) % 10_000;
+                    let v = (t * 31 + i * 13 + 1) % 10_000;
+                    black_box(svc.batcher().score(u, v).0.expect("valid pair"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    started.elapsed()
+}
+
+fn unbatched_policy() -> BatchPolicy {
+    BatchPolicy { max_batch: 1, max_wait: Duration::ZERO }
+}
+
+fn batched_policy() -> BatchPolicy {
+    BatchPolicy { max_batch: 64, max_wait: Duration::from_micros(200) }
+}
+
+fn bench_micro_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/link_score_64_clients");
+    group.sample_size(10);
+    for (name, policy) in [("one_per_pass", unbatched_policy()), ("batched_64", batched_policy())] {
+        let svc = service(policy);
+        group.bench_function(name, |b| b.iter(|| hammer(&svc)));
+    }
+    group.finish();
+}
+
+/// One pipelined round: waves of [`CLIENTS`] requests in flight at once
+/// (what a pipelining JSON-lines client produces), submitted through the
+/// batcher. With `max_batch = 1` every request is its own forward pass;
+/// with `max_batch = 64` each wave coalesces into one GEMM.
+fn hammer_pipelined(svc: &Arc<Service>, waves: usize) -> Duration {
+    let pairs: Vec<(u32, u32)> =
+        (0..CLIENTS as u32).map(|i| ((i * 131) % 10_000, (i * 31 + 1) % 10_000)).collect();
+    let started = Instant::now();
+    for _ in 0..waves {
+        for (result, _version) in svc.batcher().score_all(&pairs) {
+            black_box(result.expect("valid pair"));
+        }
+    }
+    started.elapsed()
+}
+
+/// Measures the two configurations back to back under 64 concurrent
+/// in-flight requests and prints the speedup — the acceptance number
+/// (>= 3x) made visible in the bench output.
+fn bench_speedup_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/micro_batch_pipelined");
+    group.sample_size(10);
+    for (name, policy) in [("one_per_pass", unbatched_policy()), ("batched_64", batched_policy())] {
+        let svc = service(policy);
+        group.bench_function(name, |b| b.iter(|| hammer_pipelined(&svc, 4)));
+    }
+    group.finish();
+
+    let measure = |policy: BatchPolicy| {
+        let svc = service(policy);
+        hammer_pipelined(&svc, 8); // warmup
+        let waves = 64;
+        let elapsed = hammer_pipelined(&svc, waves);
+        (CLIENTS * waves) as f64 / elapsed.as_secs_f64()
+    };
+    let base_rps = measure(unbatched_policy());
+    let batched_rps = measure(batched_policy());
+    println!(
+        "serve/micro_batch_speedup @ {CLIENTS} concurrent: one_per_pass {base_rps:.0} rps, \
+         batched_64 {batched_rps:.0} rps -> {:.1}x",
+        batched_rps / base_rps
+    );
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let engine = QueryEngine::new(store(100_000), ParConfig::default());
+    let mut group = c.benchmark_group("serve/topk_scan_100k");
+    group.sample_size(10);
+    for k in [1usize, 10, 100] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| black_box(engine.topk_neighbors(17, k).expect("valid query")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_churn(c: &mut Criterion) {
+    let s = store(10_000);
+    let mut group = c.benchmark_group("serve/snapshot");
+    group.bench_function("load", |b| b.iter(|| black_box(s.load().version)));
+    let emb = s.load().emb.clone();
+    group.bench_function("publish_embedding", |b| {
+        b.iter(|| black_box(s.publish_embedding(emb.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_micro_batch,
+    bench_speedup_report,
+    bench_topk,
+    bench_snapshot_churn
+);
+criterion_main!(benches);

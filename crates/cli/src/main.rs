@@ -10,12 +10,20 @@
 //!                 [--sampler uniform|softmax|recency|linear] [--static]
 //! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
 //! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
+//! rwalk serve     [--dataset NAME | --wel FILE] [--scale S] [--port P]
+//!                 [--threads T] [--max-batch B] [--max-wait-us W]
+//!                 [--refresh-ms R] [--smoke]
 //! ```
 //!
 //! `--sampler` selects the walk transition bias (default `softmax`, the
 //! paper's Eq. 1); `--static` ignores timestamps entirely — the static
 //! DeepWalk baseline. `--scale`, `--walks`, `--len`, and `--dim` must be
 //! positive.
+//!
+//! `serve` trains a link model and serves it over the JSON-lines TCP
+//! protocol (see the README's "Serving" section); `--smoke` starts the
+//! server on a loopback port, issues one query of each type against it,
+//! prints the responses, and exits — the CI smoke test.
 
 use std::process::ExitCode;
 
@@ -41,6 +49,7 @@ fn main() -> ExitCode {
         "nodeclass" => cmd_nodeclass(&opts),
         "sweep" => cmd_sweep(&opts),
         "profile" => cmd_profile(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -64,6 +73,11 @@ struct Options {
     gpu: bool,
     sampler: TransitionSampler,
     static_walks: bool,
+    port: u16,
+    max_batch: usize,
+    max_wait_us: u64,
+    refresh_ms: u64,
+    smoke: bool,
 }
 
 impl Options {
@@ -80,6 +94,11 @@ impl Options {
             gpu: false,
             sampler: TransitionSampler::Softmax,
             static_walks: false,
+            port: 7878,
+            max_batch: 64,
+            max_wait_us: 200,
+            refresh_ms: 1_000,
+            smoke: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -106,6 +125,20 @@ impl Options {
                     o.sampler = val("--sampler")?.parse().map_err(|e| format!("--sampler: {e}"))?
                 }
                 "--static" => o.static_walks = true,
+                "--port" => o.port = val("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+                "--max-batch" => {
+                    o.max_batch =
+                        val("--max-batch")?.parse().map_err(|e| format!("--max-batch: {e}"))?
+                }
+                "--max-wait-us" => {
+                    o.max_wait_us =
+                        val("--max-wait-us")?.parse().map_err(|e| format!("--max-wait-us: {e}"))?
+                }
+                "--refresh-ms" => {
+                    o.refresh_ms =
+                        val("--refresh-ms")?.parse().map_err(|e| format!("--refresh-ms: {e}"))?
+                }
+                "--smoke" => o.smoke = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -123,6 +156,12 @@ impl Options {
         }
         if o.dim == 0 {
             return Err("--dim must be at least 1".into());
+        }
+        if o.max_batch == 0 {
+            return Err("--max-batch must be at least 1".into());
+        }
+        if o.refresh_ms == 0 {
+            return Err("--refresh-ms must be at least 1".into());
         }
         Ok(o)
     }
@@ -277,5 +316,80 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
             stalls.dominant(),
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    use rwalk_core::IncrementalEmbedder;
+    use rwserve::{BatchPolicy, EmbeddingStore, Server, Service};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let d = o.named_dataset()?;
+    println!("dataset {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
+    println!("training link model...");
+    let hp = if o.smoke { o.hyperparams().quick_test() } else { o.hyperparams() };
+    let model = Pipeline::new(hp.clone()).train_link_model(&d.graph).map_err(|e| e.to_string())?;
+    println!("{}", model.report.summary());
+
+    // Warm the incremental embedder so background cycles are dirty-vertex
+    // refreshes, not full rebuilds.
+    let mut embedder = IncrementalEmbedder::new(hp, &d.graph);
+    embedder.refresh();
+
+    let store = Arc::new(EmbeddingStore::new(model.emb, model.mlp));
+    let policy =
+        BatchPolicy { max_batch: o.max_batch, max_wait: Duration::from_micros(o.max_wait_us) };
+    let service = Arc::new(
+        Service::new(Arc::clone(&store), par::ParConfig::with_threads(o.threads), policy)
+            .with_refresher(embedder, Duration::from_millis(o.refresh_ms)),
+    );
+
+    let addr = if o.smoke {
+        "127.0.0.1:0".to_string() // OS-assigned port; smoke must not collide
+    } else {
+        format!("127.0.0.1:{}", o.port)
+    };
+    let threads = if o.threads == 0 { 4 } else { o.threads };
+    let server = Server::start(Arc::clone(&service), &addr, threads).map_err(|e| e.to_string())?;
+    println!("serving on {} ({} handler threads)", server.local_addr(), threads);
+
+    if o.smoke {
+        return smoke_check(&server);
+    }
+    // Serve until killed; the stats summary goes to stdout once a minute.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        println!("{}", service.stats().summary());
+    }
+}
+
+/// One query of each protocol op against the live server; any failure is
+/// a hard error. This is the CI smoke test behind `rwalk serve --smoke`.
+fn smoke_check(server: &rwserve::Server) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut stream = TcpStream::connect(server.local_addr()).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let requests = [
+        r#"{"op":"link_score","u":0,"v":1}"#,
+        r#"{"op":"embedding","u":0}"#,
+        r#"{"op":"topk","u":0,"k":3}"#,
+        r#"{"op":"ingest","edges":[[0,1,0.99]]}"#,
+        r#"{"op":"stats"}"#,
+    ];
+    for request in requests {
+        stream.write_all(format!("{request}\n").as_bytes()).map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        reader.read_line(&mut response).map_err(|e| e.to_string())?;
+        let response = response.trim();
+        println!("> {request}");
+        println!("< {response}");
+        if !response.contains("\"ok\":true") {
+            return Err(format!("smoke query failed: {request} -> {response}"));
+        }
+    }
+    println!("smoke: all {} protocol ops answered ok", requests.len());
     Ok(())
 }

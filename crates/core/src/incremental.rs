@@ -72,6 +72,14 @@ impl IncrementalEmbedder {
         self.graph.to_csr()
     }
 
+    /// The embeddings produced by the last [`refresh`](Self::refresh), if
+    /// any. Between an [`ingest`](Self::ingest) and the next refresh this
+    /// lags the graph — callers serving queries should hold the snapshot
+    /// returned by `refresh` instead of re-reading this.
+    pub fn embedding(&self) -> Option<&EmbeddingMatrix> {
+        self.emb.as_ref()
+    }
+
     /// Brings embeddings up to date and returns them.
     ///
     /// The first call trains from scratch over the whole graph; later
@@ -103,14 +111,13 @@ impl IncrementalEmbedder {
                 let sampler = walk_cfg.sampler.prepare(&csr);
                 let walks = generate_walks_from_prepared(&csr, &walk_cfg, &sampler, &dirty, &par);
                 if walks.num_walks() == 0 {
-                    // Vocabulary grew without any dirty walk sources; just
-                    // extend the table with fresh vectors via a no-op
-                    // corpus over one dirty-free vertex is impossible, so
-                    // fall back to keeping vectors and padding.
-                    let mut data = current.as_slice().to_vec();
-                    data.resize(csr.num_nodes() * current.dim(), 0.0);
+                    // The vertex space grew but no dirty vertex produced a
+                    // walk (e.g. a zero-walk config). The table must still
+                    // track the graph: extend it with word2vec-style
+                    // initialized rows so every vertex keeps a usable,
+                    // trainable vector.
                     self.emb =
-                        Some(EmbeddingMatrix::from_vec(csr.num_nodes(), current.dim(), data));
+                        Some(current.grown(csr.num_nodes(), walk_cfg.seed.wrapping_add(0x9807)));
                 } else {
                     // Fine-tune at a reduced learning rate: the goal is to
                     // absorb the new structure without tearing up the
@@ -173,6 +180,58 @@ mod tests {
             "incremental refresh rewrote {moved}/{} vectors",
             g.num_nodes()
         );
+    }
+
+    /// Regression: ingesting an edge whose endpoint is far beyond the
+    /// embedding row count must leave matrix and graph sizes consistent
+    /// after refresh, with every implicitly-allocated row initialized
+    /// (non-zero), not zero-padded.
+    #[test]
+    fn far_id_growth_allocates_initialized_rows() {
+        let g = base_graph();
+        let mut inc = IncrementalEmbedder::new(Hyperparams::paper_optimal().quick_test(), &g);
+        inc.refresh();
+        // dst id skips 300 vertices and has no outgoing edges.
+        inc.ingest([TemporalEdge::new(0, 500, 2.0)]);
+        let emb = inc.refresh().clone();
+        assert_eq!(emb.num_nodes(), 501, "embedding rows lag the grown graph");
+        assert_eq!(inc.snapshot().num_nodes(), 501);
+        assert!(
+            emb.get(500).iter().any(|&x| x != 0.0),
+            "new endpoint 500 left with an uninitialized (zero) row"
+        );
+        // Implicitly-allocated ids between the old max and the new
+        // endpoint also get initialized vectors.
+        for v in [250u32, 400] {
+            assert!(emb.get(v).iter().any(|&x| x != 0.0), "implicit vertex {v} row is zero");
+        }
+        // A follow-up refresh touching only old vertices keeps the size.
+        inc.ingest([TemporalEdge::new(1, 2, 3.0)]);
+        assert_eq!(inc.refresh().num_nodes(), 501);
+    }
+
+    /// Regression: growth works for a brand-new disconnected component
+    /// too (neither endpoint existed before).
+    #[test]
+    fn disconnected_new_component_grows_table() {
+        let g = base_graph();
+        let n = g.num_nodes();
+        let mut inc = IncrementalEmbedder::new(Hyperparams::paper_optimal().quick_test(), &g);
+        inc.refresh();
+        inc.ingest([TemporalEdge::new(n as u32, n as u32 + 1, 2.0)]);
+        let emb = inc.refresh();
+        assert_eq!(emb.num_nodes(), n + 2);
+        assert!(emb.get(n as u32).iter().any(|&x| x != 0.0));
+        assert!(emb.get(n as u32 + 1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn embedding_accessor_tracks_refreshes() {
+        let g = base_graph();
+        let mut inc = IncrementalEmbedder::new(Hyperparams::paper_optimal().quick_test(), &g);
+        assert!(inc.embedding().is_none());
+        inc.refresh();
+        assert_eq!(inc.embedding().map(|e| e.num_nodes()), Some(g.num_nodes()));
     }
 
     #[test]

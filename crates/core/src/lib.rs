@@ -39,5 +39,5 @@ pub use error::PipelineError;
 pub use extensions::LabeledEdge;
 pub use hyper::{EmbeddingStrategy, Hyperparams};
 pub use incremental::IncrementalEmbedder;
-pub use pipeline::{Backend, Pipeline};
-pub use report::{PhaseTimes, TaskKind, TaskMetrics, TaskReport};
+pub use pipeline::{Backend, LinkModel, Pipeline};
+pub use report::{PhaseTimes, ServeStats, TaskKind, TaskMetrics, TaskReport};

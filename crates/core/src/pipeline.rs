@@ -29,6 +29,20 @@ pub enum Backend {
     GpuModel(GpuModel),
 }
 
+/// Everything the training half of a deployment hands to the serving
+/// half: trained node embeddings, the trained link-prediction FNN, and the
+/// run's [`TaskReport`].
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    /// Trained node embeddings `f : V → R^d`.
+    pub emb: EmbeddingMatrix,
+    /// Trained 2-layer link-FNN over concatenated edge features (input
+    /// width `2d`, binary head).
+    pub mlp: Mlp,
+    /// Metrics and phase times of the training run.
+    pub report: TaskReport,
+}
+
 /// The four-phase pipeline of paper Fig. 1.
 ///
 /// # Examples
@@ -119,6 +133,22 @@ impl Pipeline {
     /// Returns [`PipelineError::GraphTooSmall`] when the graph cannot be
     /// split into train/valid/test with negative sampling.
     pub fn run_link_prediction(&self, g: &TemporalGraph) -> Result<TaskReport, PipelineError> {
+        self.link_pipeline(g).map(|m| m.report)
+    }
+
+    /// Runs the link prediction pipeline and keeps the artifacts a serving
+    /// layer needs: the trained embeddings and the trained link-FNN, plus
+    /// the usual [`TaskReport`]. This is the training half of an online
+    /// deployment — hand the result to `rwserve` to answer queries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_link_prediction`](Self::run_link_prediction).
+    pub fn train_link_model(&self, g: &TemporalGraph) -> Result<LinkModel, PipelineError> {
+        self.link_pipeline(g)
+    }
+
+    fn link_pipeline(&self, g: &TemporalGraph) -> Result<LinkModel, PipelineError> {
         if g.num_edges() < 25 || g.num_nodes() < 10 {
             return Err(PipelineError::GraphTooSmall {
                 nodes: g.num_nodes(),
@@ -193,7 +223,7 @@ impl Pipeline {
             }
         };
 
-        Ok(TaskReport {
+        let report = TaskReport {
             task: TaskKind::LinkPrediction,
             metrics: TaskMetrics { accuracy, auc: Some(auc), macro_f1: None, final_train_loss },
             phase_times,
@@ -201,7 +231,8 @@ impl Pipeline {
             sampler_build: walks.sampler_stats(),
             epochs_run,
             backend,
-        })
+        };
+        Ok(LinkModel { emb, mlp, report })
     }
 
     /// Runs the full multi-class node classification task (paper §IV-B).
@@ -419,6 +450,24 @@ mod tests {
             .unwrap();
         assert!(report.metrics.accuracy > 0.6, "accuracy {}", report.metrics.accuracy);
         assert!(report.metrics.macro_f1.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn train_link_model_exposes_serving_artifacts() {
+        let g = lp_graph();
+        let hp = Hyperparams::paper_optimal().quick_test();
+        let model = Pipeline::new(hp.clone()).train_link_model(&g).unwrap();
+        assert_eq!(model.emb.num_nodes(), g.num_nodes());
+        assert_eq!(model.emb.dim(), hp.dim);
+        assert_eq!(model.mlp.input_dim(), 2 * hp.dim);
+        assert_eq!(model.mlp.output_dim(), 1);
+        assert_eq!(model.report.task, TaskKind::LinkPrediction);
+        // The kept artifacts are the ones the report was computed from:
+        // scoring a known-positive test edge must work end-to-end.
+        let feat = model.emb.edge_feature(0, 1);
+        let x = nn::Tensor2::from_rows(&[&feat]);
+        let p = model.mlp.predict_proba(&x);
+        assert!(p[0].is_finite() && (0.0..=1.0).contains(&p[0]));
     }
 
     #[test]

@@ -123,9 +123,103 @@ impl TaskReport {
     }
 }
 
+/// Aggregate counters of a serving process — the online analog of
+/// [`TaskReport`] for the `rwserve` subsystem. Batch pipelines report
+/// per-phase wall-clock once; a server reports request mix, latency, and
+/// micro-batch efficiency continuously.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Seconds the server has been up.
+    pub uptime_secs: f64,
+    /// Requests answered, successes and errors together.
+    pub requests_total: u64,
+    /// Requests answered with a structured error response.
+    pub errors: u64,
+    /// `link_score` requests.
+    pub link_score: u64,
+    /// `embedding` requests.
+    pub embedding: u64,
+    /// `topk` requests.
+    pub topk: u64,
+    /// `ingest` requests.
+    pub ingest: u64,
+    /// Mean per-request latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Worst per-request latency in microseconds.
+    pub max_latency_us: f64,
+    /// Forward passes run by the micro-batcher.
+    pub batches: u64,
+    /// Mean `link_score` requests coalesced per forward pass.
+    pub mean_batch: f64,
+    /// Version of the model snapshot currently being served.
+    pub snapshot_version: u64,
+    /// Background refresh cycles published since startup.
+    pub refreshes: u64,
+}
+
+impl ServeStats {
+    /// Requests per second over the whole uptime.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            0.0
+        } else {
+            self.requests_total as f64 / self.uptime_secs
+        }
+    }
+
+    /// One-paragraph human-readable summary (mirrors
+    /// [`TaskReport::summary`]).
+    pub fn summary(&self) -> String {
+        format!(
+            "serve [v{}]: {} requests ({} errors) in {:.1}s ({:.0} rps) | \
+             link_score {}, embedding {}, topk {}, ingest {} | \
+             latency mean {:.1}µs max {:.1}µs | {} batches, {:.1} req/batch | {} refreshes",
+            self.snapshot_version,
+            self.requests_total,
+            self.errors,
+            self.uptime_secs,
+            self.throughput_rps(),
+            self.link_score,
+            self.embedding,
+            self.topk,
+            self.ingest,
+            self.mean_latency_us,
+            self.max_latency_us,
+            self.batches,
+            self.mean_batch,
+            self.refreshes,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_stats_throughput_and_summary() {
+        let s = ServeStats {
+            uptime_secs: 2.0,
+            requests_total: 100,
+            errors: 3,
+            link_score: 60,
+            embedding: 20,
+            topk: 10,
+            ingest: 7,
+            mean_latency_us: 45.5,
+            max_latency_us: 900.0,
+            batches: 5,
+            mean_batch: 12.0,
+            snapshot_version: 4,
+            refreshes: 3,
+        };
+        assert!((s.throughput_rps() - 50.0).abs() < 1e-9);
+        let text = s.summary();
+        assert!(text.contains("100 requests"));
+        assert!(text.contains("v4"));
+        assert!(text.contains("req/batch"));
+        assert_eq!(ServeStats::default().throughput_rps(), 0.0);
+    }
 
     #[test]
     fn phase_total_sums_components() {

@@ -90,6 +90,36 @@ impl EmbeddingMatrix {
         out.extend_from_slice(self.get(v));
         out
     }
+
+    /// Returns a copy extended to `num_nodes` rows, with the appended rows
+    /// initialized like fresh word2vec input vectors (uniform in
+    /// `[-0.5 / d, 0.5 / d)`, deterministic in `seed`) rather than zeros —
+    /// so a vertex that arrives between training rounds still has a usable,
+    /// trainable vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < self.num_nodes()`.
+    #[must_use]
+    pub fn grown(&self, num_nodes: usize, seed: u64) -> Self {
+        assert!(num_nodes >= self.num_nodes, "grown() cannot shrink the embedding table");
+        let mut data = Vec::with_capacity(num_nodes * self.dim);
+        data.extend_from_slice(&self.data);
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64, matching the trainer's init stream generator.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in self.data.len()..num_nodes * self.dim {
+            let u = (next() >> 11) as f32 / (1u64 << 53) as f32;
+            data.push((u - 0.5) / self.dim as f32);
+        }
+        Self { num_nodes, dim: self.dim, data }
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +164,36 @@ mod tests {
     fn zero_vector_cosine_is_zero() {
         let e = EmbeddingMatrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
         assert_eq!(e.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn grown_preserves_old_rows_and_initializes_new() {
+        let e = sample();
+        let g = e.grown(5, 7);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.dim(), e.dim());
+        for v in 0..3u32 {
+            assert_eq!(g.get(v), e.get(v), "existing row {v} changed");
+        }
+        let bound = 0.5 / e.dim() as f32;
+        for v in 3..5u32 {
+            assert!(g.get(v).iter().any(|&x| x != 0.0), "new row {v} is zero");
+            assert!(g.get(v).iter().all(|&x| x.abs() <= bound), "init out of range");
+        }
+        // Deterministic in the seed.
+        assert_eq!(g, e.grown(5, 7));
+        assert_ne!(g, e.grown(5, 8));
+    }
+
+    #[test]
+    fn grown_to_same_size_is_identity() {
+        let e = sample();
+        assert_eq!(e.grown(3, 1), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grown_rejects_shrinking() {
+        let _ = sample().grown(2, 0);
     }
 }

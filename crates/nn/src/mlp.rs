@@ -70,6 +70,18 @@ impl Mlp {
         self.weights.len()
     }
 
+    /// Input feature width (`dims[0]`) — what a serving layer must feed
+    /// each row of the forward batch.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].rows()
+    }
+
+    /// Output width (`dims.last()`): 1 for a binary head, `C` for
+    /// multi-class.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().expect("at least one layer").cols()
+    }
+
     /// Output head.
     pub fn head(&self) -> OutputHead {
         self.head
@@ -408,6 +420,16 @@ mod tests {
     fn param_count_matches_dims() {
         let mlp = Mlp::new(&[4, 8, 2], OutputHead::MultiClass, 0);
         assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn io_dims_match_construction() {
+        let mlp = Mlp::new(&[16, 64, 1], OutputHead::Binary, 0);
+        assert_eq!(mlp.input_dim(), 16);
+        assert_eq!(mlp.output_dim(), 1);
+        let mc = Mlp::new(&[8, 32, 32, 5], OutputHead::MultiClass, 0);
+        assert_eq!(mc.input_dim(), 8);
+        assert_eq!(mc.output_dim(), 5);
     }
 
     #[test]

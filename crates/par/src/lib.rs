@@ -25,7 +25,9 @@ mod pool;
 mod reduce;
 
 pub use config::ParConfig;
-pub use pool::{parallel_chunks, parallel_chunks_shared, parallel_for, parallel_for_index};
+pub use pool::{
+    parallel_chunks, parallel_chunks_shared, parallel_for, parallel_for_index, TaskPool,
+};
 pub use reduce::{parallel_map_reduce, parallel_reduce_with};
 
 #[cfg(test)]

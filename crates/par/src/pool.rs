@@ -1,6 +1,9 @@
-//! Dynamically scheduled parallel loops over index ranges and slices.
+//! Dynamically scheduled parallel loops over index ranges and slices,
+//! plus a persistent [`TaskPool`] for long-lived services.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::ParConfig;
 
@@ -123,10 +126,194 @@ where
     });
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    active: AtomicUsize,
+}
+
+/// A persistent fixed-size worker pool for services that outlive a single
+/// parallel loop.
+///
+/// The scoped loops above ([`parallel_chunks`] and friends) spawn and join
+/// threads per call, which is right for batch kernels but wrong for a
+/// long-lived server that handles a stream of independent jobs (e.g. one
+/// per client connection). `TaskPool` keeps `threads` workers alive and
+/// feeds them closures through a shared queue; dropping the pool finishes
+/// queued jobs and joins every worker.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use par::TaskPool;
+///
+/// let pool = TaskPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins workers, so all jobs have run
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.workers.len())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            available: Condvar::new(),
+            active: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("taskpool-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut state = shared.state.lock().expect("pool lock poisoned");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = shared.available.wait(state).expect("pool lock poisoned");
+                }
+            };
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            job();
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently executing (not queued).
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job; an idle worker picks it up in FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the pool started shutting down (impossible
+    /// through the public API, which consumes the pool on drop).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        assert!(!state.shutdown, "execute on a shut-down pool");
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock poisoned").shutdown = true;
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn task_pool_runs_queued_jobs_across_workers() {
+        let pool = TaskPool::new(3);
+        let sum = Arc::new(AtomicUsize::new(0));
+        for i in 0..200 {
+            let sum = Arc::clone(&sum);
+            pool.execute(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..200).sum());
+    }
+
+    #[test]
+    fn task_pool_zero_threads_clamps_to_one() {
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn task_pool_jobs_can_block_independently() {
+        // Two jobs that rendezvous with each other require >= 2 live
+        // workers; this deadlocks if the pool serializes jobs.
+        let pool = TaskPool::new(2);
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut n = lock.lock().unwrap();
+                *n += 1;
+                cv.notify_all();
+                while *n < 2 {
+                    let (guard, timeout) =
+                        cv.wait_timeout(n, std::time::Duration::from_secs(5)).unwrap();
+                    n = guard;
+                    assert!(!timeout.timed_out(), "partner job never ran");
+                }
+            });
+        }
+        drop(pool);
+        assert_eq!(*gate.0.lock().unwrap(), 2);
+    }
 
     #[test]
     fn chunks_partition_range_exactly() {

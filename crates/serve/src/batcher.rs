@@ -1,0 +1,348 @@
+//! Micro-batching for `link_score`: coalesce concurrent requests into one
+//! batched GEMM forward pass.
+//!
+//! A single forward pass over a `b × 2d` feature matrix costs far less
+//! than `b` passes over `1 × 2d` matrices — the per-pass allocation,
+//! dispatch, and cache-refill overheads are paid once and the GEMM inner
+//! loops run over longer rows. The batcher exploits this: callers enqueue
+//! `(u, v)` pairs and block on a private channel; a dedicated scorer
+//! thread drains the queue, waits up to [`BatchPolicy::max_wait`] for
+//! stragglers (up to [`BatchPolicy::max_batch`] requests), runs one
+//! forward pass against one snapshot, and fans the scores back out.
+//!
+//! Validation is per-request inside [`crate::engine::score_pairs`], so a
+//! request naming an unknown node gets its own error while the rest of
+//! the batch is still scored.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tgraph::NodeId;
+
+use crate::engine::{score_pairs, QueryError};
+use crate::metrics::Metrics;
+use crate::store::EmbeddingStore;
+
+/// When the scorer thread closes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Hard cap on requests per forward pass.
+    pub max_batch: usize,
+    /// How long the first request in a batch is willing to wait for
+    /// company. `0` (with `max_batch = 1`) degenerates to
+    /// one-request-per-forward-pass — the baseline `bench_serve` compares
+    /// against.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: 64, max_wait: Duration::from_micros(200) }
+    }
+}
+
+struct Pending {
+    u: NodeId,
+    v: NodeId,
+    reply: mpsc::Sender<(Result<f32, QueryError>, u64)>,
+}
+
+struct BatcherState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct BatcherShared {
+    state: Mutex<BatcherState>,
+    nonempty: Condvar,
+    // Mirrored from the policy so enqueuers know when a batch is full.
+    max_batch: usize,
+}
+
+/// Handle to the scorer thread. Dropping it drains outstanding requests
+/// and joins the thread.
+pub struct MicroBatcher {
+    shared: Arc<BatcherShared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MicroBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroBatcher").finish_non_exhaustive()
+    }
+}
+
+impl MicroBatcher {
+    /// Spawns the scorer thread against `store`, reporting batch sizes to
+    /// `metrics`.
+    pub fn new(store: Arc<EmbeddingStore>, metrics: Arc<Metrics>, policy: BatchPolicy) -> Self {
+        let policy = BatchPolicy { max_batch: policy.max_batch.max(1), ..policy };
+        let shared = Arc::new(BatcherShared {
+            state: Mutex::new(BatcherState { queue: VecDeque::new(), shutdown: false }),
+            nonempty: Condvar::new(),
+            max_batch: policy.max_batch,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("rwserve-batcher".to_string())
+            .spawn(move || scorer_loop(&worker_shared, &store, &metrics, policy))
+            .expect("spawn batcher thread");
+        Self { shared, worker: Some(worker) }
+    }
+
+    /// Scores `(u, v)`, blocking until the batch containing it completes.
+    /// Returns the probability and the snapshot version that produced it.
+    pub fn score(&self, u: NodeId, v: NodeId) -> (Result<f32, QueryError>, u64) {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("batcher lock poisoned");
+            state.queue.push_back(Pending { u, v, reply });
+            // Wake the scorer only on the transitions it acts on: work
+            // appearing in an empty queue, and a lingering batch filling
+            // up. Intermediate enqueues stay silent — per-request wakeups
+            // during the linger window would serialize the whole batch
+            // behind futex calls and erase the batching win.
+            let len = state.queue.len();
+            if len == 1 || len >= self.shared.max_batch {
+                self.shared.nonempty.notify_one();
+            }
+        }
+        rx.recv().expect("scorer thread dropped a pending request")
+    }
+
+    /// Submits a whole slice of pairs as concurrently in-flight requests
+    /// and blocks until all are scored. This is what a pipelining client
+    /// looks like to the batcher (many requests outstanding at once);
+    /// results come back in `pairs` order, each with the snapshot version
+    /// of the batch that scored it.
+    pub fn score_all(&self, pairs: &[(NodeId, NodeId)]) -> Vec<(Result<f32, QueryError>, u64)> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("batcher lock poisoned");
+            let before = state.queue.len();
+            for &(u, v) in pairs {
+                state.queue.push_back(Pending { u, v, reply: reply.clone() });
+            }
+            let after = state.queue.len();
+            if (before == 0 && after > 0)
+                || (before < self.shared.max_batch && after >= self.shared.max_batch)
+            {
+                self.shared.nonempty.notify_one();
+            }
+        }
+        // The queue is FIFO and batches are processed in order, so the
+        // shared channel yields results in submission order.
+        (0..pairs.len())
+            .map(|_| rx.recv().expect("scorer thread dropped a pending request"))
+            .collect()
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("batcher lock poisoned").shutdown = true;
+        self.shared.nonempty.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn scorer_loop(
+    shared: &BatcherShared,
+    store: &EmbeddingStore,
+    metrics: &Metrics,
+    policy: BatchPolicy,
+) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("batcher lock poisoned");
+            // Sleep until there is work (or we are told to stop and the
+            // queue is fully drained).
+            while state.queue.is_empty() {
+                if state.shutdown {
+                    return;
+                }
+                state = shared.nonempty.wait(state).expect("batcher lock poisoned");
+            }
+            // Linger for stragglers: the first request opens a window of
+            // `max_wait`; the batch closes early once full.
+            if policy.max_batch > 1 && !policy.max_wait.is_zero() {
+                let deadline = Instant::now() + policy.max_wait;
+                while state.queue.len() < policy.max_batch && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = shared
+                        .nonempty
+                        .wait_timeout(state, deadline - now)
+                        .expect("batcher lock poisoned");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.queue.len().min(policy.max_batch);
+            state.queue.drain(..take).collect::<Vec<_>>()
+        };
+        // Score outside the lock so enqueuers never wait on the GEMM.
+        let snap = store.load();
+        let pairs: Vec<(NodeId, NodeId)> = batch.iter().map(|p| (p.u, p.v)).collect();
+        let results = score_pairs(&snap, &pairs);
+        metrics.record_batch(batch.len());
+        for (pending, result) in batch.into_iter().zip(results) {
+            // A caller that gave up (dropped the receiver) is not an error.
+            let _ = pending.reply.send((result, snap.version));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embed::EmbeddingMatrix;
+    use nn::{Mlp, OutputHead};
+
+    fn store(n: usize, d: usize) -> Arc<EmbeddingStore> {
+        let data: Vec<f32> = (0..n * d).map(|i| (i % 7) as f32 * 0.1).collect();
+        let emb = EmbeddingMatrix::from_vec(n, d, data);
+        Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 4, 1], OutputHead::Binary, 42)))
+    }
+
+    #[test]
+    fn batched_scores_match_direct_forward_pass() {
+        let store = store(10, 4);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(MicroBatcher::new(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(2) },
+        ));
+        let snap = store.load();
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                thread::spawn(move || b.score(i, (i + 1) % 10))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (result, version) = h.join().unwrap();
+            let i = i as u32;
+            let expect = score_pairs(&snap, &[(i, (i + 1) % 10)])[0];
+            assert_eq!(result, expect);
+            assert_eq!(version, 1);
+        }
+        let stats = metrics.snapshot(1);
+        assert_eq!(stats.batches as f64 * stats.mean_batch, 8.0, "all 8 requests batched");
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_fewer_forward_passes() {
+        let store = store(50, 4);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(MicroBatcher::new(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            BatchPolicy { max_batch: 64, max_wait: Duration::from_millis(20) },
+        ));
+        let handles: Vec<_> = (0..32u32)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                thread::spawn(move || b.score(i, i + 1))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().0.is_ok());
+        }
+        let stats = metrics.snapshot(1);
+        assert!(
+            stats.batches < 32,
+            "expected coalescing, got {} batches for 32 requests",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn unknown_node_fails_alone_not_the_batch() {
+        let store = store(5, 2);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(MicroBatcher::new(
+            store,
+            metrics,
+            BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(10) },
+        ));
+        let good = {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || b.score(0, 1))
+        };
+        let bad = {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || b.score(0, 999))
+        };
+        assert!(good.join().unwrap().0.is_ok());
+        assert_eq!(bad.join().unwrap().0, Err(QueryError::UnknownNode(999)));
+    }
+
+    #[test]
+    fn max_batch_one_degenerates_to_single_request_passes() {
+        let store = store(5, 2);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::new(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            BatchPolicy { max_batch: 1, max_wait: Duration::ZERO },
+        );
+        for i in 0..4u32 {
+            assert!(batcher.score(i, (i + 1) % 5).0.is_ok());
+        }
+        let stats = metrics.snapshot(1);
+        assert_eq!(stats.batches, 4);
+        assert!((stats.mean_batch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_all_returns_results_in_submission_order() {
+        let store = store(30, 3);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::new(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(1) },
+        );
+        let pairs: Vec<(u32, u32)> =
+            (0..20u32).map(|i| (i, (i * 3 + 1) % 30)).chain([(0, 999)]).collect();
+        let results = batcher.score_all(&pairs);
+        assert_eq!(results.len(), pairs.len());
+        let snap = store.load();
+        for (&pair, (result, version)) in pairs.iter().zip(&results) {
+            assert_eq!(*result, score_pairs(&snap, &[pair])[0], "pair {pair:?} out of order");
+            assert_eq!(*version, 1);
+        }
+        assert_eq!(results[20].0, Err(QueryError::UnknownNode(999)));
+        // 21 requests through max_batch = 8 is at most a handful of passes.
+        assert!(metrics.snapshot(1).batches <= 6);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_requests() {
+        let store = store(5, 2);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(MicroBatcher::new(
+            store,
+            metrics,
+            BatchPolicy { max_batch: 16, max_wait: Duration::from_millis(50) },
+        ));
+        let waiter = {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || b.score(1, 2))
+        };
+        thread::sleep(Duration::from_millis(5));
+        drop(batcher); // waiter's Arc keeps it alive until it returns
+        assert!(waiter.join().unwrap().0.is_ok());
+    }
+}

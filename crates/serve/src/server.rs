@@ -1,0 +1,220 @@
+//! JSON-lines TCP transport over [`Service`].
+//!
+//! Deliberately dependency-light: `std::net` sockets, an accept thread,
+//! and connection handlers scheduled on a [`par::TaskPool`]. Each
+//! connection is a newline-delimited request/response stream; a malformed
+//! line gets an `"ok":false` response and the connection stays open.
+//!
+//! Shutdown is cooperative: the accept loop polls a stop flag between
+//! non-blocking accepts, and handlers poll it between read timeouts, so
+//! [`Server::shutdown`] (or drop) converges within ~100 ms without
+//! killing in-flight requests.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use par::TaskPool;
+
+use crate::Service;
+
+/// How long blocking reads wait before re-checking the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running TCP server. Stops (and joins all threads) on drop.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("local_addr", &self.local_addr).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `service` with `threads` connection-handler threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding the listener.
+    pub fn start(service: Arc<Service>, addr: &str, threads: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_service = Arc::clone(&service);
+        let accept_thread = thread::Builder::new()
+            .name("rwserve-accept".to_string())
+            .spawn(move || {
+                // The pool lives in the accept thread so dropping it (and
+                // joining all handlers) happens off the caller's thread
+                // only at shutdown, after the accept loop exits.
+                let pool = TaskPool::new(threads);
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let stop = Arc::clone(&accept_stop);
+                            let service = Arc::clone(&accept_service);
+                            pool.execute(move || handle_connection(stream, &service, &stop));
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Self { local_addr, stop, accept_thread: Some(accept_thread), service })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind the transport.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting, drains handlers, joins all server threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads newline-delimited requests until EOF or server stop. Uses a
+/// read timeout so a silent client cannot pin a worker past shutdown.
+fn handle_connection(mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !stop.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                // Answer every complete line received so far.
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let mut response = service.handle_line(trimmed);
+                    response.push('\n');
+                    if stream.write_all(response.as_bytes()).is_err() {
+                        return; // peer went away
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue; // poll the stop flag again
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::{BatchPolicy, EmbeddingStore};
+    use embed::EmbeddingMatrix;
+    use nn::{Mlp, OutputHead};
+    use par::ParConfig;
+    use std::io::{BufRead, BufReader};
+
+    fn start_server() -> Server {
+        let n = 10;
+        let d = 3;
+        let data: Vec<f32> = (0..n * d).map(|i| (i % 4) as f32 * 0.25).collect();
+        let emb = EmbeddingMatrix::from_vec(n, d, data);
+        let store =
+            Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 6, 1], OutputHead::Binary, 42)));
+        let service =
+            Arc::new(Service::new(store, ParConfig::with_threads(2), BatchPolicy::default()));
+        Server::start(service, "127.0.0.1:0", 2).expect("bind loopback")
+    }
+
+    fn ask(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream, line: &str) -> Json {
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).unwrap()
+    }
+
+    #[test]
+    fn serves_queries_over_tcp() {
+        let server = start_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        let score = ask(&mut reader, &mut stream, r#"{"op":"link_score","u":1,"v":2}"#);
+        assert_eq!(score.get("ok"), Some(&Json::Bool(true)));
+
+        let topk = ask(&mut reader, &mut stream, r#"{"op":"topk","u":0,"k":2}"#);
+        assert_eq!(topk.get("neighbors").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_connections_are_served_concurrently() {
+        let server = start_server();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let v =
+                        ask(&mut reader, &mut stream, &format!(r#"{{"op":"embedding","u":{i}}}"#));
+                    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.service().stats().embedding, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_converges_with_an_open_connection() {
+        let server = start_server();
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        // An idle client must not block shutdown (read-timeout polling).
+        server.shutdown();
+    }
+}

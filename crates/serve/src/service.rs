@@ -1,0 +1,223 @@
+//! Request dispatch: protocol lines in, protocol lines out.
+//!
+//! [`Service`] ties the subsystem together — store, query engine,
+//! micro-batcher, metrics, and (optionally) the background refresher —
+//! behind one transport-agnostic entry point, [`Service::handle_line`].
+//! The TCP server is a thin loop around it, and tests can exercise the
+//! whole protocol without a socket.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use par::ParConfig;
+use rwalk_core::{IncrementalEmbedder, ServeStats};
+
+use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::json::{obj, Json};
+use crate::metrics::{Metrics, OpKind};
+use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::refresh::Refresher;
+use crate::store::EmbeddingStore;
+use crate::QueryEngine;
+
+/// The full serving stack minus the transport.
+#[derive(Debug)]
+pub struct Service {
+    store: Arc<EmbeddingStore>,
+    engine: QueryEngine,
+    batcher: MicroBatcher,
+    metrics: Arc<Metrics>,
+    refresher: Option<Refresher>,
+}
+
+impl Service {
+    /// Builds the stack over `store`: a query engine with `par`
+    /// parallelism for scans and a micro-batcher with `policy`.
+    pub fn new(store: Arc<EmbeddingStore>, par: ParConfig, policy: BatchPolicy) -> Self {
+        let metrics = Arc::new(Metrics::new());
+        let engine = QueryEngine::new(Arc::clone(&store), par);
+        let batcher = MicroBatcher::new(Arc::clone(&store), Arc::clone(&metrics), policy);
+        Self { store, engine, batcher, metrics, refresher: None }
+    }
+
+    /// Attaches a background refresher, enabling the `ingest` op. The
+    /// embedder must be tracking the same graph the store's snapshot was
+    /// built from.
+    #[must_use]
+    pub fn with_refresher(mut self, embedder: IncrementalEmbedder, interval: Duration) -> Self {
+        self.refresher = Some(Refresher::spawn(
+            Arc::clone(&self.store),
+            embedder,
+            Arc::clone(&self.metrics),
+            interval,
+        ));
+        self
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &Arc<EmbeddingStore> {
+        &self.store
+    }
+
+    /// The micro-batcher (exposed for benchmarking the batched path
+    /// without going through the protocol layer).
+    pub fn batcher(&self) -> &MicroBatcher {
+        &self.batcher
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.snapshot(self.store.version())
+    }
+
+    /// Answers one protocol line with one response line (no trailing
+    /// newline). Never panics on caller input: malformed JSON, unknown
+    /// ops, and invalid queries all become `"ok":false` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(message) => {
+                self.metrics.record(OpKind::Stats, started.elapsed(), false);
+                return error_response(&message);
+            }
+        };
+        let (op, outcome) = self.dispatch(request);
+        let ok = outcome.is_ok();
+        let response = match outcome {
+            Ok(line) => line,
+            Err(message) => error_response(&message),
+        };
+        self.metrics.record(op, started.elapsed(), ok);
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> (OpKind, Result<String, String>) {
+        match request {
+            Request::LinkScore { u, v } => {
+                let (result, version) = self.batcher.score(u, v);
+                let outcome = result
+                    .map(|score| ok_response(vec![("score", Json::Num(f64::from(score)))], version))
+                    .map_err(|e| e.to_string());
+                (OpKind::LinkScore, outcome)
+            }
+            Request::Embedding { u } => {
+                let outcome = self
+                    .engine
+                    .embedding(u)
+                    .map(|(row, version)| {
+                        let values = row.iter().map(|&x| Json::Num(f64::from(x))).collect();
+                        ok_response(vec![("embedding", Json::Arr(values))], version)
+                    })
+                    .map_err(|e| e.to_string());
+                (OpKind::Embedding, outcome)
+            }
+            Request::TopK { u, k } => {
+                let outcome = self
+                    .engine
+                    .topk_neighbors(u, k)
+                    .map(|(neighbors, version)| {
+                        let items = neighbors
+                            .into_iter()
+                            .map(|(v, s)| {
+                                Json::Arr(vec![Json::Num(f64::from(v)), Json::Num(f64::from(s))])
+                            })
+                            .collect();
+                        ok_response(vec![("neighbors", Json::Arr(items))], version)
+                    })
+                    .map_err(|e| e.to_string());
+                (OpKind::TopK, outcome)
+            }
+            Request::Ingest { edges } => {
+                let outcome = match &self.refresher {
+                    Some(refresher) => {
+                        let queued = refresher.enqueue(edges);
+                        Ok(ok_response(
+                            vec![("queued", Json::Num(queued as f64))],
+                            self.store.version(),
+                        ))
+                    }
+                    None => Err("ingest unavailable: server has no refresher".to_string()),
+                };
+                (OpKind::Ingest, outcome)
+            }
+            Request::Stats => {
+                let s = self.stats();
+                let payload = obj([
+                    ("uptime_secs", Json::Num(s.uptime_secs)),
+                    ("requests_total", Json::Num(s.requests_total as f64)),
+                    ("errors", Json::Num(s.errors as f64)),
+                    ("link_score", Json::Num(s.link_score as f64)),
+                    ("embedding", Json::Num(s.embedding as f64)),
+                    ("topk", Json::Num(s.topk as f64)),
+                    ("ingest", Json::Num(s.ingest as f64)),
+                    ("throughput_rps", Json::Num(s.throughput_rps())),
+                    ("mean_latency_us", Json::Num(s.mean_latency_us)),
+                    ("max_latency_us", Json::Num(s.max_latency_us)),
+                    ("batches", Json::Num(s.batches as f64)),
+                    ("mean_batch", Json::Num(s.mean_batch)),
+                    ("refreshes", Json::Num(s.refreshes as f64)),
+                ]);
+                (OpKind::Stats, Ok(ok_response(vec![("stats", payload)], s.snapshot_version)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embed::EmbeddingMatrix;
+    use nn::{Mlp, OutputHead};
+
+    fn service() -> Service {
+        let n = 12;
+        let d = 4;
+        let data: Vec<f32> = (0..n * d).map(|i| ((i % 5) as f32 - 2.0) * 0.2).collect();
+        let emb = EmbeddingMatrix::from_vec(n, d, data);
+        let store =
+            Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 8, 1], OutputHead::Binary, 42)));
+        Service::new(store, ParConfig::with_threads(2), BatchPolicy::default())
+    }
+
+    #[test]
+    fn every_op_round_trips_through_the_protocol() {
+        let svc = service();
+        let score = Json::parse(&svc.handle_line(r#"{"op":"link_score","u":1,"v":2}"#)).unwrap();
+        assert_eq!(score.get("ok"), Some(&Json::Bool(true)));
+        let p = score.get("score").and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(score.get("version").and_then(Json::as_u64), Some(1));
+
+        let emb = Json::parse(&svc.handle_line(r#"{"op":"embedding","u":3}"#)).unwrap();
+        assert_eq!(emb.get("embedding").and_then(Json::as_array).map(<[Json]>::len), Some(4));
+
+        let topk = Json::parse(&svc.handle_line(r#"{"op":"topk","u":0,"k":3}"#)).unwrap();
+        assert_eq!(topk.get("neighbors").and_then(Json::as_array).map(<[Json]>::len), Some(3));
+
+        let stats = Json::parse(&svc.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let payload = stats.get("stats").unwrap();
+        assert_eq!(payload.get("link_score").and_then(Json::as_u64), Some(1));
+        assert_eq!(payload.get("topk").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn failures_are_structured_and_counted() {
+        let svc = service();
+        for line in [
+            "this is not json",
+            r#"{"op":"link_score","u":0,"v":999}"#,
+            r#"{"op":"topk","u":0,"k":0}"#,
+            r#"{"op":"embedding","u":400}"#,
+            r#"{"op":"ingest","edges":[[1,2,0.5]]}"#, // no refresher attached
+        ] {
+            let v = Json::parse(&svc.handle_line(line)).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "line {line:?}");
+            assert!(v.get("error").and_then(Json::as_str).is_some());
+        }
+        assert_eq!(svc.stats().errors, 5);
+        // The service keeps answering after errors.
+        let again = Json::parse(&svc.handle_line(r#"{"op":"link_score","u":1,"v":2}"#)).unwrap();
+        assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+    }
+}

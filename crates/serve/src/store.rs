@@ -1,0 +1,153 @@
+//! Atomic model-snapshot storage (the serving hot path's read side).
+//!
+//! A snapshot bundles everything a query needs — the embedding table and
+//! the trained link-FNN — behind a single [`Arc`]. Readers clone the `Arc`
+//! under a briefly-held read lock and then work entirely on immutable
+//! data, so a concurrently published refresh can never expose a torn
+//! (half-old, half-new) model: a reader either sees version `n` in full or
+//! version `n + 1` in full.
+
+use std::sync::{Arc, RwLock};
+
+use embed::EmbeddingMatrix;
+use nn::Mlp;
+
+/// One immutable, internally consistent version of the served model.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Monotonically increasing publish counter (first snapshot is 1).
+    pub version: u64,
+    /// The node embedding table.
+    pub emb: EmbeddingMatrix,
+    /// The trained link-prediction FNN (input width `2 * emb.dim()`).
+    pub model: Mlp,
+}
+
+/// Holds the current [`ModelSnapshot`] and swaps it atomically.
+///
+/// # Examples
+///
+/// ```
+/// use embed::EmbeddingMatrix;
+/// use nn::{Mlp, OutputHead};
+/// use rwserve::EmbeddingStore;
+///
+/// let emb = EmbeddingMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// let mlp = Mlp::new(&[4, 8, 1], OutputHead::Binary, 42);
+/// let store = EmbeddingStore::new(emb.clone(), mlp);
+/// assert_eq!(store.load().version, 1);
+/// let v = store.publish_embedding(emb);
+/// assert_eq!(v, 2);
+/// ```
+#[derive(Debug)]
+pub struct EmbeddingStore {
+    current: RwLock<Arc<ModelSnapshot>>,
+}
+
+impl EmbeddingStore {
+    /// Creates the store with its first snapshot (version 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's input width is not `2 * emb.dim()` — the
+    /// concatenated edge-feature convention every snapshot must satisfy.
+    pub fn new(emb: EmbeddingMatrix, model: Mlp) -> Self {
+        Self::check_dims(&emb, &model);
+        Self { current: RwLock::new(Arc::new(ModelSnapshot { version: 1, emb, model })) }
+    }
+
+    fn check_dims(emb: &EmbeddingMatrix, model: &Mlp) {
+        assert_eq!(
+            model.input_dim(),
+            2 * emb.dim(),
+            "link model expects concatenated [f(u), f(v)] features"
+        );
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone under a read lock);
+    /// the returned snapshot stays valid and unchanged for as long as the
+    /// caller holds it, even across publishes.
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.current.read().expect("store lock poisoned"))
+    }
+
+    /// Version of the snapshot currently being served.
+    pub fn version(&self) -> u64 {
+        self.current.read().expect("store lock poisoned").version
+    }
+
+    /// Publishes a full new snapshot; returns its version.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched embedding/model widths (see [`Self::new`]).
+    pub fn publish(&self, emb: EmbeddingMatrix, model: Mlp) -> u64 {
+        Self::check_dims(&emb, &model);
+        let mut slot = self.current.write().expect("store lock poisoned");
+        let version = slot.version + 1;
+        *slot = Arc::new(ModelSnapshot { version, emb, model });
+        version
+    }
+
+    /// Publishes new embeddings, carrying the current FNN weights forward
+    /// — the background-refresh case, where walks are re-run but the
+    /// classifier is not retrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new table's dimensionality differs from the served
+    /// model's expectation.
+    pub fn publish_embedding(&self, emb: EmbeddingMatrix) -> u64 {
+        let mut slot = self.current.write().expect("store lock poisoned");
+        Self::check_dims(&emb, &slot.model);
+        let version = slot.version + 1;
+        *slot = Arc::new(ModelSnapshot { version, emb, model: slot.model.clone() });
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::OutputHead;
+
+    fn store(n: usize, d: usize) -> EmbeddingStore {
+        let emb = EmbeddingMatrix::from_vec(n, d, vec![0.1; n * d]);
+        EmbeddingStore::new(emb, Mlp::new(&[2 * d, 4, 1], OutputHead::Binary, 7))
+    }
+
+    #[test]
+    fn publish_bumps_version_and_readers_keep_old_snapshots() {
+        let s = store(3, 2);
+        let old = s.load();
+        assert_eq!(old.version, 1);
+        let emb2 = EmbeddingMatrix::from_vec(5, 2, vec![0.5; 10]);
+        assert_eq!(s.publish_embedding(emb2), 2);
+        // The held snapshot is unchanged; a fresh load sees the new one.
+        assert_eq!(old.version, 1);
+        assert_eq!(old.emb.num_nodes(), 3);
+        let new = s.load();
+        assert_eq!(new.version, 2);
+        assert_eq!(new.emb.num_nodes(), 5);
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn publish_swaps_model_too() {
+        let s = store(3, 2);
+        let emb = EmbeddingMatrix::from_vec(3, 2, vec![0.2; 6]);
+        let mlp = Mlp::new(&[4, 8, 1], OutputHead::Binary, 99);
+        assert_eq!(s.publish(emb, mlp), 2);
+        assert_eq!(
+            s.load().model.num_params(),
+            Mlp::new(&[4, 8, 1], OutputHead::Binary, 0).num_params()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concatenated")]
+    fn mismatched_dims_are_rejected() {
+        let emb = EmbeddingMatrix::from_vec(2, 3, vec![0.0; 6]);
+        let _ = EmbeddingStore::new(emb, Mlp::new(&[4, 4, 1], OutputHead::Binary, 7));
+    }
+}

@@ -1,0 +1,117 @@
+//! Protocol robustness over real TCP: malformed JSON, unknown node ids,
+//! and `k = 0` must each produce a structured error response while the
+//! connection — and the server — keep working.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use embed::EmbeddingMatrix;
+use nn::{Mlp, OutputHead};
+use par::ParConfig;
+use rwserve::json::Json;
+use rwserve::{BatchPolicy, EmbeddingStore, Server, Service};
+
+fn start_server() -> Server {
+    let (n, d) = (20, 4);
+    let data: Vec<f32> = (0..n * d).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect();
+    let emb = EmbeddingMatrix::from_vec(n, d, data);
+    let store =
+        Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 8, 1], OutputHead::Binary, 42)));
+    let service = Arc::new(Service::new(store, ParConfig::with_threads(2), BatchPolicy::default()));
+    Server::start(service, "127.0.0.1:0", 2).expect("bind loopback")
+}
+
+fn ask(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(!response.is_empty(), "server closed the connection after {line:?}");
+    Json::parse(response.trim()).unwrap()
+}
+
+fn assert_error(v: &Json, context: &str) -> String {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{context}: expected ok=false, got {v}");
+    v.get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{context}: error response without message: {v}"))
+        .to_string()
+}
+
+#[test]
+fn bad_requests_get_structured_errors_and_the_connection_survives() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // 1. Malformed JSON.
+    let v = ask(&mut reader, &mut stream, "{this is not json!");
+    let msg = assert_error(&v, "malformed JSON");
+    assert!(msg.contains("invalid JSON"), "unhelpful message: {msg}");
+
+    // 2. Valid JSON, not a valid request.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"warp_drive"}"#);
+    assert!(assert_error(&v, "unknown op").contains("unknown op"));
+
+    // 3. Unknown node id.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"link_score","u":0,"v":12345}"#);
+    assert!(assert_error(&v, "unknown node").contains("unknown node id 12345"));
+    let v = ask(&mut reader, &mut stream, r#"{"op":"embedding","u":9999}"#);
+    assert!(assert_error(&v, "unknown node").contains("9999"));
+
+    // 4. k = 0.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"topk","u":1,"k":0}"#);
+    assert!(assert_error(&v, "zero k").contains("k must be at least 1"));
+
+    // 5. Ingest without a refresher configured.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"ingest","edges":[[1,2,0.5]]}"#);
+    assert!(assert_error(&v, "no refresher").contains("ingest unavailable"));
+
+    // The same connection still answers good requests afterwards.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"link_score","u":1,"v":2}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+
+    // And the errors were counted, not swallowed.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"stats"}"#);
+    let stats = v.get("stats").expect("stats payload");
+    assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(6));
+
+    server.shutdown();
+}
+
+#[test]
+fn an_aborted_connection_does_not_kill_the_server() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Client 1 sends garbage and hangs up mid-protocol.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"\x00\xffgarbage without newline").unwrap();
+    } // dropped: RST/FIN while the server may still be mid-read
+
+    // Client 2 gets normal service.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let v = ask(&mut reader, &mut stream, r#"{"op":"topk","u":0,"k":3}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(v.get("neighbors").and_then(Json::as_array).map(<[Json]>::len), Some(3));
+
+    server.shutdown();
+}
+
+#[test]
+fn blank_lines_are_ignored_not_answered() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    stream.write_all(b"\n  \n").unwrap();
+    // No response should arrive for blank lines; the next real request
+    // gets the next response on the stream.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"embedding","u":0}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert!(v.get("embedding").is_some());
+
+    server.shutdown();
+}

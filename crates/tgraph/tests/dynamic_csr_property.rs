@@ -1,0 +1,147 @@
+//! Property test: `DynamicGraph::to_csr` must yield time-sorted CSR
+//! segments regardless of edge arrival order.
+//!
+//! The temporal walk kernels binary-search each vertex's time slice
+//! (`neighbors_after` and the prepared CDF tables both assume sorted
+//! segments), so an out-of-order ingest that left a segment unsorted
+//! would silently corrupt every downstream walk. This test drives many
+//! seeded random streams — shuffled arrival, duplicate edges, equal
+//! timestamps, id gaps — and checks the invariant plus multiset
+//! equivalence with a batch-built graph.
+
+use tgraph::dynamic::DynamicGraph;
+use tgraph::{GraphBuilder, TemporalEdge, TemporalGraph};
+
+/// splitmix64 — deterministic stream source for the property runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates an edge stream with adversarial temporal structure:
+/// timestamps drawn out of order, repeated endpoints, exact ties, and
+/// a few far-out node ids to force growth.
+fn random_edges(rng: &mut Rng, nodes: u64, count: usize) -> Vec<TemporalEdge> {
+    (0..count)
+        .map(|_| {
+            let src = rng.below(nodes) as u32;
+            let dst = if rng.below(20) == 0 {
+                (nodes + rng.below(8)) as u32 // id gap: implicit vertices
+            } else {
+                rng.below(nodes) as u32
+            };
+            // Quantized timestamps produce plenty of exact ties.
+            let time = rng.below(50) as f64 / 10.0;
+            TemporalEdge::new(src, dst, time)
+        })
+        .collect()
+}
+
+fn shuffled(rng: &mut Rng, mut edges: Vec<TemporalEdge>) -> Vec<TemporalEdge> {
+    for i in (1..edges.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        edges.swap(i, j);
+    }
+    edges
+}
+
+/// Every vertex's time slice must be nondecreasing.
+fn assert_time_sorted(g: &TemporalGraph, context: &str) {
+    for v in 0..g.num_nodes() as u32 {
+        let (_nbrs, times) = g.neighbor_slices(v);
+        for w in times.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "{context}: vertex {v} has out-of-order times {} > {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Edge multiset of a graph as a sortable list.
+fn edge_multiset(g: &TemporalGraph) -> Vec<(u32, u32, u64)> {
+    let mut all: Vec<(u32, u32, u64)> =
+        g.edges().map(|e| (e.src, e.dst, e.time.to_bits())).collect();
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn out_of_order_ingestion_yields_time_sorted_csr() {
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1));
+        let edges = random_edges(&mut rng, 40, 400);
+        let stream = shuffled(&mut rng, edges.clone());
+
+        // Path A: everything known up front (the builder sorts).
+        let batch = GraphBuilder::new().extend_edges(edges.iter().copied()).build();
+
+        // Path B: one-at-a-time ingestion in shuffled order.
+        let mut dynamic = DynamicGraph::new();
+        for &e in &stream {
+            dynamic.add_edge(e);
+        }
+        let csr = dynamic.to_csr();
+
+        assert_time_sorted(&csr, &format!("seed {seed} (shuffled singles)"));
+        assert_eq!(
+            edge_multiset(&csr),
+            edge_multiset(&batch),
+            "seed {seed}: ingestion order changed the edge multiset"
+        );
+        assert_eq!(csr.num_nodes(), batch.num_nodes(), "seed {seed}: node count diverged");
+    }
+}
+
+#[test]
+fn chunked_ingestion_matches_batch_build() {
+    for seed in 100..110u64 {
+        let mut rng = Rng(seed);
+        let edges = random_edges(&mut rng, 30, 300);
+        let stream = shuffled(&mut rng, edges.clone());
+        let batch = GraphBuilder::new().extend_edges(edges.iter().copied()).build();
+
+        // Ingest in random-sized chunks with interleaved to_csr calls —
+        // snapshots mid-stream must also be sorted.
+        let mut dynamic = DynamicGraph::new();
+        let mut rest: &[TemporalEdge] = &stream;
+        while !rest.is_empty() {
+            let take = (rng.below(40) as usize + 1).min(rest.len());
+            dynamic.add_edges(rest[..take].iter().copied());
+            rest = &rest[take..];
+            assert_time_sorted(&dynamic.to_csr(), &format!("seed {seed} (mid-stream)"));
+        }
+        let csr = dynamic.to_csr();
+        assert_eq!(edge_multiset(&csr), edge_multiset(&batch), "seed {seed}");
+    }
+}
+
+#[test]
+fn growth_from_existing_graph_stays_sorted() {
+    let mut rng = Rng(7);
+    let base_edges = random_edges(&mut rng, 25, 200);
+    let base = GraphBuilder::new().extend_edges(base_edges.iter().copied()).build();
+    let mut dynamic = DynamicGraph::from_graph(&base);
+
+    // Late edges with timestamps *earlier* than existing ones must be
+    // inserted into position, not appended.
+    let late_edges = random_edges(&mut rng, 25, 150);
+    let late = shuffled(&mut rng, late_edges);
+    dynamic.add_edges(late.iter().copied());
+    let csr = dynamic.to_csr();
+    assert_time_sorted(&csr, "from_graph + out-of-order additions");
+    assert_eq!(csr.num_edges(), base.num_edges() + late.len());
+}
