@@ -1,0 +1,128 @@
+//! Criterion bench: the `simd` kernel layer — dispatched (AVX2/FMA, NEON,
+//! or scalar, whatever the host selects) vs the scalar reference, across
+//! the dims the pipeline actually uses (8 = paper-optimal embedding dim,
+//! 128 = large-embedding stress, 1024 = serving-scale rows).
+//!
+//! Run with `SIMD_FORCE_SCALAR=1` to measure the fallback against itself
+//! (the two groups should then coincide).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn filled(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 * 1e-3)
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd/dot");
+    group.sample_size(50);
+    for dim in [8usize, 128, 1024] {
+        let a = filled(dim, 1);
+        let b = filled(dim, 2);
+        group.bench_with_input(BenchmarkId::new("dispatched", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for _ in 0..1024 {
+                    acc += simd::dot(black_box(&a), black_box(&b));
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for _ in 0..1024 {
+                    acc += simd::scalar::dot(black_box(&a), black_box(&b));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd/axpy");
+    group.sample_size(50);
+    for dim in [8usize, 128, 1024] {
+        let x = filled(dim, 3);
+        let mut y = filled(dim, 4);
+        group.bench_with_input(BenchmarkId::new("dispatched", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                for _ in 0..1024 {
+                    simd::axpy(black_box(0.001), black_box(&x), black_box(&mut y));
+                }
+            });
+        });
+        let mut y2 = filled(dim, 4);
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                for _ in 0..1024 {
+                    simd::scalar::axpy(black_box(0.001), black_box(&x), black_box(&mut y2));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd/fused_sigmoid_grad");
+    group.sample_size(50);
+    for dim in [8usize, 128] {
+        let h = filled(dim, 5);
+        let mut t = filled(dim, 6);
+        let mut e = filled(dim, 7);
+        group.bench_with_input(BenchmarkId::new("fused", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                for _ in 0..1024 {
+                    simd::fused_sigmoid_grad(
+                        black_box(1e-4),
+                        black_box(&h),
+                        black_box(&mut t),
+                        black_box(&mut e),
+                    );
+                }
+            });
+        });
+        let (mut t2, mut e2) = (filled(dim, 6), filled(dim, 7));
+        group.bench_with_input(BenchmarkId::new("two_axpys", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                for _ in 0..1024 {
+                    let t_old = t2.clone();
+                    simd::axpy(black_box(1e-4), black_box(&t_old), black_box(&mut e2));
+                    simd::axpy(black_box(1e-4), black_box(&h), black_box(&mut t2));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd/gemm_transb");
+    group.sample_size(20);
+    // (m, n, k) shapes from the pipeline: FNN forward batches and the
+    // serve micro-batcher's 2d-wide feature rows.
+    for (m, n, k) in [(64usize, 64usize, 64usize), (256, 16, 256), (64, 256, 16)] {
+        let a = filled(m * k, 8);
+        let bt = filled(n * k, 9);
+        let mut c_out = vec![0.0f32; m * n];
+        let label = format!("{m}x{n}x{k}");
+        group.bench_with_input(BenchmarkId::new("dispatched", &label), &label, |bch, _| {
+            bch.iter(|| simd::gemm_transb(m, n, k, black_box(&a), black_box(&bt), &mut c_out));
+        });
+        let mut c_ref = vec![0.0f32; m * n];
+        group.bench_with_input(BenchmarkId::new("scalar", &label), &label, |bch, _| {
+            bch.iter(|| {
+                simd::scalar::gemm_transb(m, n, k, black_box(&a), black_box(&bt), &mut c_ref)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_axpy, bench_fused_grad, bench_gemm);
+criterion_main!(benches);

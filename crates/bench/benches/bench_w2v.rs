@@ -36,6 +36,7 @@ fn bench_layout_reduction(c: &mut Criterion) {
         ("padded_scalar", Layout::Padded, Reduction::Scalar),
         ("packed_scalar", Layout::Packed, Reduction::Scalar),
         ("packed_chunked", Layout::Packed, Reduction::Chunked),
+        ("packed_simd", Layout::Packed, Reduction::Simd),
     ] {
         group.bench_function(name, |b| {
             let cfg =
@@ -60,6 +61,24 @@ fn bench_dim(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hogwild(c: &mut Criterion) {
+    // The headline SGNS hot-path group: one full hogwild epoch at the
+    // paper-optimal dim (8) and at the SIMD-stressing dim (128). This is
+    // the group the SIMD kernel layer is gated on (≥1.5× at dim 128; see
+    // DESIGN.md §10 / README perf table).
+    let (walks, n) = corpus();
+    let par = ParConfig::default();
+    let mut group = c.benchmark_group("w2v/hogwild");
+    group.sample_size(10);
+    for dim in [8usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let cfg = Word2VecConfig::default().dim(dim).epochs(1).seed(6);
+            b.iter(|| black_box(train_batched(&walks, n, &cfg, &par, usize::MAX)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_locking(c: &mut Criterion) {
     // Ablation: hogwild (lock-free, stale-tolerant) vs a global lock —
     // the design choice enabling the paper's batched-GPU parallelism.
@@ -77,5 +96,12 @@ fn bench_locking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_size, bench_layout_reduction, bench_dim, bench_locking);
+criterion_group!(
+    benches,
+    bench_batch_size,
+    bench_layout_reduction,
+    bench_dim,
+    bench_hogwild,
+    bench_locking
+);
 criterion_main!(benches);

@@ -13,6 +13,14 @@
 //!
 //! * `--test` runs every benchmark exactly once (smoke mode);
 //! * a positional argument filters benchmarks by substring.
+//!
+//! Additionally, when the `BENCH_JSON` environment variable names a file,
+//! every completed benchmark appends one machine-readable JSON line
+//! (`{"bench":…,"samples":…,"min_ns":…,"mean_ns":…,"max_ns":…}`) to it —
+//! the hook CI uses to archive the repo's perf trajectory (e.g.
+//! `BENCH_w2v.json`). The file is append-only so multi-group runs and
+//! multiple bench binaries can share one artifact; delete it up front for
+//! a fresh capture.
 
 use std::time::{Duration, Instant};
 
@@ -129,6 +137,43 @@ impl Criterion {
             fmt_duration(max),
             b.times.len(),
         );
+        if let Some(path) = std::env::var_os("BENCH_JSON").filter(|p| !p.is_empty()) {
+            append_json_line(std::path::Path::new(&path), full_name, b.times.len(), min, mean, max);
+        }
+    }
+}
+
+/// Appends one benchmark result as a JSON line to `path` (best-effort; a
+/// failing perf log must never fail the bench run itself).
+fn append_json_line(
+    path: &std::path::Path,
+    name: &str,
+    samples: usize,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+) {
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"bench\":\"{escaped}\",\"samples\":{samples},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("BENCH_JSON: could not append to {}: {e}", path.display());
     }
 }
 
@@ -232,5 +277,24 @@ mod tests {
     fn ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn json_lines_are_appended_and_escaped() {
+        let path =
+            std::env::temp_dir().join(format!("bench_json_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let d = Duration::from_nanos(1500);
+        append_json_line(&path, "g/\"q\"", 3, d, d, d);
+        append_json_line(&path, "g/plain", 1, d, d, d);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"bench\":\"g/\\\"q\\\"\",\"samples\":3,\"min_ns\":1500,\"mean_ns\":1500,\"max_ns\":1500}"
+        );
+        assert!(lines[1].contains("\"bench\":\"g/plain\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -16,12 +16,16 @@ pub enum Layout {
 /// "Par-red" ablations, mapped onto CPU SIMD-friendly loop shapes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Reduction {
-    /// Straightforward scalar loop.
+    /// Straightforward scalar loop over per-element atomics.
     Scalar,
     /// 4-lane unrolled loops (coalesced access + parallel reduction
     /// analog), which the compiler vectorizes.
-    #[default]
     Chunked,
+    /// Explicit SIMD kernels from the `simd` crate (AVX2/FMA or NEON with
+    /// runtime dispatch, scalar fallback elsewhere), including the fused
+    /// gradient step — see DESIGN.md §10.
+    #[default]
+    Simd,
 }
 
 /// Hyperparameters of the skip-gram-with-negative-sampling trainer.

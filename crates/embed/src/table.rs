@@ -13,6 +13,18 @@ pub struct NegativeTable {
 }
 
 impl NegativeTable {
+    /// Floor on [`recommended_size`](Self::recommended_size): small enough
+    /// to build instantly, large enough that the unigram^0.75 distribution
+    /// is well resolved for small vocabularies.
+    pub const MIN_TABLE_SIZE: usize = 100_000;
+
+    /// The table-size policy every trainer entry point shares:
+    /// `max(MIN_TABLE_SIZE, 8 × num_nodes)`, i.e. at least eight slots per
+    /// vertex so even a uniform corpus keeps per-vertex resolution.
+    pub fn recommended_size(num_nodes: usize) -> usize {
+        Self::MIN_TABLE_SIZE.max(8 * num_nodes)
+    }
+
     /// Builds the table from corpus token counts.
     ///
     /// `table_size` trades accuracy of the distribution for memory; the

@@ -3,7 +3,9 @@
 // Indexed loops over parallel arrays are the intended idiom here.
 #![allow(clippy::needless_range_loop)]
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use par::{parallel_for_index, ParConfig};
@@ -49,7 +51,7 @@ pub fn train(
     cfg: &Word2VecConfig,
     par: &ParConfig,
 ) -> EmbeddingMatrix {
-    train_batched(corpus, num_nodes, cfg, par, usize::MAX).0
+    run_training(corpus, num_nodes, cfg, par, usize::MAX, None, false).0
 }
 
 /// Trains embeddings processing sentences in batches of `batch_size`:
@@ -72,49 +74,16 @@ pub fn train_batched(
     par: &ParConfig,
     batch_size: usize,
 ) -> (EmbeddingMatrix, BatchRunStats) {
-    assert!(batch_size > 0, "batch size must be positive");
-    let n_sentences = corpus.num_walks();
-    assert!(n_sentences > 0, "empty corpus");
-    let total_tokens = corpus.total_vertices() * cfg.epochs;
-
-    let stride = cfg.stride();
-    let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
-    let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
-    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
-    let sigmoid = SigmoidTable::default();
-    let processed = AtomicU64::new(0);
-
-    let start = Instant::now();
-    let mut batches = 0usize;
-    for epoch in 0..cfg.epochs {
-        let mut lo = 0usize;
-        while lo < n_sentences {
-            let hi = lo.saturating_add(batch_size).min(n_sentences);
-            batches += 1;
-            let batch_len = hi - lo;
-            // Within a batch: concurrent (stale-read tolerant) updates.
-            parallel_for_index(par, batch_len, |i| {
-                let s = lo + i;
-                let walk = corpus.walk(s);
-                let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-                let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
-                    .max(cfg.min_lr);
-                let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
-                train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
-            });
-            lo = hi;
-        }
-    }
-
-    let stats = BatchRunStats { batches, tokens: total_tokens, duration: start.elapsed() };
-    (EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense()), stats)
+    run_training(corpus, num_nodes, cfg, par, batch_size, None, false)
 }
 
 /// Continues training from existing embeddings (warm start) — the
 /// incremental-refresh primitive. `initial` seeds the input vectors;
 /// vertices beyond `initial.num_nodes()` (new arrivals) get fresh random
 /// init. The output-side (`syn1`) context vectors restart from zero, a
-/// standard approximation for incremental SGNS.
+/// standard approximation for incremental SGNS. The warm-start copy goes
+/// through [`SharedMatrix::write_row`], so it lands correctly for every
+/// [`crate::Layout`] / stride the config selects.
 ///
 /// # Panics
 ///
@@ -127,35 +96,7 @@ pub fn train_from(
     cfg: &Word2VecConfig,
     par: &ParConfig,
 ) -> EmbeddingMatrix {
-    assert_eq!(cfg.dim, initial.dim(), "dimension mismatch with initial embeddings");
-    assert!(
-        num_nodes >= initial.num_nodes(),
-        "node count shrank below the initial embedding table"
-    );
-    let n_sentences = corpus.num_walks();
-    assert!(n_sentences > 0, "empty corpus");
-    let total_tokens = corpus.total_vertices() * cfg.epochs;
-    let stride = cfg.stride();
-    let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
-    for v in 0..initial.num_nodes() {
-        syn0.write_row(v, initial.get(v as tgraph::NodeId));
-    }
-    let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
-    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
-    let sigmoid = SigmoidTable::default();
-    let processed = AtomicU64::new(0);
-
-    for epoch in 0..cfg.epochs {
-        parallel_for_index(par, n_sentences, |s| {
-            let walk = corpus.walk(s);
-            let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-            let lr =
-                (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32)).max(cfg.min_lr);
-            let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
-            train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
-        });
-    }
-    EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense())
+    run_training(corpus, num_nodes, cfg, par, usize::MAX, Some(initial), false).0
 }
 
 /// Coarse-lock ablation baseline for hogwild: identical updates, but a
@@ -173,29 +114,91 @@ pub fn train_locked(
     cfg: &Word2VecConfig,
     par: &ParConfig,
 ) -> EmbeddingMatrix {
+    run_training(corpus, num_nodes, cfg, par, usize::MAX, None, true).0
+}
+
+/// The one shared training driver behind every public entry point:
+/// validates inputs, builds the model matrices / negative table / sigmoid
+/// table / decayed-lr accounting exactly once, optionally seeds a warm
+/// start, and runs the epoch × batch loop (optionally serialized by a
+/// global mutex for the locking ablation).
+fn run_training(
+    corpus: &WalkSet,
+    num_nodes: usize,
+    cfg: &Word2VecConfig,
+    par: &ParConfig,
+    batch_size: usize,
+    warm_start: Option<&EmbeddingMatrix>,
+    serialize: bool,
+) -> (EmbeddingMatrix, BatchRunStats) {
+    assert!(batch_size > 0, "batch size must be positive");
     let n_sentences = corpus.num_walks();
     assert!(n_sentences > 0, "empty corpus");
+    if let Some(initial) = warm_start {
+        assert_eq!(cfg.dim, initial.dim(), "dimension mismatch with initial embeddings");
+        assert!(
+            num_nodes >= initial.num_nodes(),
+            "node count shrank below the initial embedding table"
+        );
+    }
     let total_tokens = corpus.total_vertices() * cfg.epochs;
+
     let stride = cfg.stride();
     let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
+    if let Some(initial) = warm_start {
+        // Per-row copy through write_row honors the configured stride, so
+        // Padded layouts seed exactly like Packed ones.
+        for v in 0..initial.num_nodes() {
+            syn0.write_row(v, initial.get(v as tgraph::NodeId));
+        }
+    }
     let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
-    let table = NegativeTable::from_corpus(corpus, num_nodes, 100_000.max(8 * num_nodes));
+    let table =
+        NegativeTable::from_corpus(corpus, num_nodes, NegativeTable::recommended_size(num_nodes));
     let sigmoid = SigmoidTable::default();
     let processed = AtomicU64::new(0);
-    let lock = std::sync::Mutex::new(());
+    let lock = serialize.then(|| Mutex::new(()));
 
+    let start = Instant::now();
+    let mut batches = 0usize;
     for epoch in 0..cfg.epochs {
-        parallel_for_index(par, n_sentences, |s| {
-            let walk = corpus.walk(s);
-            let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-            let lr =
-                (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32)).max(cfg.min_lr);
-            let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
-            let _guard = lock.lock().expect("word2vec worker panicked");
-            train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
-        });
+        let mut lo = 0usize;
+        while lo < n_sentences {
+            let hi = lo.saturating_add(batch_size).min(n_sentences);
+            batches += 1;
+            let batch_len = hi - lo;
+            // Within a batch: concurrent (stale-read tolerant) updates.
+            parallel_for_index(par, batch_len, |i| {
+                let s = lo + i;
+                let walk = corpus.walk(s);
+                let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                    .max(cfg.min_lr);
+                let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
+                let _guard = lock.as_ref().map(|l| l.lock().expect("word2vec worker panicked"));
+                train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+            });
+            lo = hi;
+        }
     }
-    EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense())
+
+    let stats = BatchRunStats { batches, tokens: total_tokens, duration: start.elapsed() };
+    (EmbeddingMatrix::from_vec(num_nodes, cfg.dim, syn0.to_dense()), stats)
+}
+
+/// Reusable per-thread training scratch (`h`: center copy, `tmp`:
+/// pre-update context row for the atomic paths, `e`: accumulated
+/// input-side error). Hoisted out of the sentence loop so the hogwild
+/// inner loop performs zero heap allocations.
+struct Scratch {
+    h: Vec<f32>,
+    tmp: Vec<f32>,
+    e: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> =
+        const { RefCell::new(Scratch { h: Vec::new(), tmp: Vec::new(), e: Vec::new() }) };
 }
 
 /// One skip-gram pass over a sentence: for every center position, each
@@ -213,53 +216,73 @@ fn train_sentence(
     rng: &mut WalkRng,
 ) {
     let dim = cfg.dim;
-    let mut h = vec![0.0f32; dim];
-    let mut tmp = vec![0.0f32; dim];
-    let mut e = vec![0.0f32; dim];
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.h.resize(dim, 0.0);
+        scratch.tmp.resize(dim, 0.0);
+        scratch.e.resize(dim, 0.0);
+        let (h, tmp, e) = (&mut scratch.h, &mut scratch.tmp, &mut scratch.e);
 
-    for i in 0..walk.len() {
-        let center = walk[i];
-        // Shrunk window, as in reference word2vec.
-        let b = 1 + rng.next_bounded(cfg.window);
-        let lo = i.saturating_sub(b);
-        let hi = (i + b).min(walk.len() - 1);
-        for j in lo..=hi {
-            if j == i {
-                continue;
-            }
-            let input = walk[j] as usize;
-            syn0.read_row(input, &mut h);
-            e.iter_mut().for_each(|x| *x = 0.0);
-
-            for k in 0..=cfg.negatives {
-                let (target, label) = if k == 0 {
-                    (center as usize, 1.0f32)
-                } else {
-                    let t = table.sample(rng) as usize;
-                    if t == center as usize {
-                        continue;
-                    }
-                    (t, 0.0)
-                };
-                let f = match cfg.reduction {
-                    Reduction::Scalar => syn1.dot_scalar(target, &h),
-                    Reduction::Chunked => syn1.dot_chunked(target, &h),
-                };
-                let g = (label - sigmoid.get(f)) * lr;
-                syn1.read_row(target, &mut tmp);
-                for (ev, &tv) in e.iter_mut().zip(&tmp) {
-                    *ev += g * tv;
+        for i in 0..walk.len() {
+            let center = walk[i];
+            // Shrunk window, as in reference word2vec.
+            let b = 1 + rng.next_bounded(cfg.window);
+            let lo = i.saturating_sub(b);
+            let hi = (i + b).min(walk.len() - 1);
+            for j in lo..=hi {
+                if j == i {
+                    continue;
                 }
-                syn1.add_scaled(target, g, &h);
+                let input = walk[j] as usize;
+                match cfg.reduction {
+                    Reduction::Simd => syn0.read_row_simd(input, h),
+                    _ => syn0.read_row(input, h),
+                }
+                e.fill(0.0);
+
+                for k in 0..=cfg.negatives {
+                    let (target, label) = if k == 0 {
+                        (center as usize, 1.0f32)
+                    } else {
+                        let t = table.sample(rng) as usize;
+                        if t == center as usize {
+                            continue;
+                        }
+                        (t, 0.0)
+                    };
+                    match cfg.reduction {
+                        Reduction::Simd => {
+                            let f = syn1.dot_simd(target, h);
+                            let g = (label - sigmoid.get(f)) * lr;
+                            syn1.fused_grad_step(target, g, h, e);
+                        }
+                        Reduction::Scalar | Reduction::Chunked => {
+                            let f = match cfg.reduction {
+                                Reduction::Scalar => syn1.dot_scalar(target, h),
+                                _ => syn1.dot_chunked(target, h),
+                            };
+                            let g = (label - sigmoid.get(f)) * lr;
+                            syn1.read_row(target, tmp);
+                            for (ev, &tv) in e.iter_mut().zip(tmp.iter()) {
+                                *ev += g * tv;
+                            }
+                            syn1.add_scaled(target, g, h);
+                        }
+                    }
+                }
+                match cfg.reduction {
+                    Reduction::Simd => syn0.add_scaled_simd(input, 1.0, e),
+                    _ => syn0.add_scaled(input, 1.0, e),
+                }
             }
-            syn0.add_scaled(input, 1.0, &e);
         }
-    }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Layout;
     use par::ParConfig;
 
     /// Builds a corpus of two disjoint token "communities" that co-occur
@@ -328,10 +351,9 @@ mod tests {
 
     #[test]
     fn layout_and_reduction_variants_learn_equally() {
-        use crate::{Layout, Reduction};
         let (corpus, n) = two_community_corpus();
         for layout in [Layout::Packed, Layout::Padded] {
-            for reduction in [Reduction::Scalar, Reduction::Chunked] {
+            for reduction in [Reduction::Scalar, Reduction::Chunked, Reduction::Simd] {
                 let cfg =
                     Word2VecConfig::default().epochs(6).seed(4).layout(layout).reduction(reduction);
                 let emb = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
@@ -364,6 +386,31 @@ mod tests {
             assert_eq!(refreshed.get(v), base.get(v), "untouched node {v} moved");
         }
         assert_eq!(refreshed.num_nodes(), n);
+    }
+
+    #[test]
+    fn warm_start_preserves_untouched_vectors_padded_layout() {
+        // Regression: the warm-start copy must honor the Padded stride,
+        // not just the packed one — a flat memcpy would interleave rows.
+        let (corpus, n) = two_community_corpus();
+        for reduction in [Reduction::Simd, Reduction::Scalar] {
+            let cfg = Word2VecConfig::default()
+                .epochs(4)
+                .seed(13)
+                .layout(Layout::Padded)
+                .reduction(reduction);
+            let base = train(&corpus, n, &cfg, &ParConfig::with_threads(1));
+            let sub = WalkSet::from_walks(&[vec![0, 1, 2], vec![2, 3, 4]], 4);
+            let refreshed =
+                train_from(&sub, n, &base, &cfg.clone().epochs(1), &ParConfig::with_threads(1));
+            for v in 5..10u32 {
+                assert_eq!(
+                    refreshed.get(v),
+                    base.get(v),
+                    "untouched node {v} moved under Padded/{reduction:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -400,6 +447,12 @@ mod tests {
         let emb = train_locked(&corpus, n, &cfg, &ParConfig::with_threads(4));
         let (intra, inter) = mean_intra_inter(&emb);
         assert!(intra > inter + 0.2, "locked: intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn negative_table_policy_is_shared() {
+        assert_eq!(NegativeTable::recommended_size(10), NegativeTable::MIN_TABLE_SIZE);
+        assert_eq!(NegativeTable::recommended_size(1_000_000), 8_000_000);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub fn matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
 }
 
 /// `C = A · Bᵀ` where `bt` is already transposed (`bt` is `n × k`).
+/// Lowered onto the register-blocked, runtime-dispatched SIMD microkernel.
 ///
 /// # Panics
 ///
@@ -65,13 +66,7 @@ pub fn matmul_transb(a: &Tensor2, bt: &Tensor2) -> Tensor2 {
     let (n, k2) = bt.shape();
     assert_eq!(k, k2, "inner dimensions must agree");
     let mut c = Tensor2::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cj) in crow.iter_mut().enumerate() {
-            *cj = dot(arow, bt.row(j));
-        }
-    }
+    simd::gemm_transb(m, n, k, a.as_slice(), bt.as_slice(), c.as_mut_slice());
     c
 }
 
@@ -91,35 +86,18 @@ pub fn matmul_parallel(a: &Tensor2, b: &Tensor2, par: &ParConfig) -> Tensor2 {
     parallel_chunks(&par.chunk_size(16.max(m / (4 * par.threads()).max(1))), m, |lo, hi| {
         // SAFETY: each worker writes rows lo..hi of C exclusively.
         let cdata = c_ptr as *mut f32;
-        for i in lo..hi {
-            let arow = a.row(i);
-            let crow = unsafe { std::slice::from_raw_parts_mut(cdata.add(i * n), n) };
-            for (j, cj) in crow.iter_mut().enumerate() {
-                *cj = dot(arow, bt.row(j));
-            }
-        }
+        let cchunk = unsafe { std::slice::from_raw_parts_mut(cdata.add(lo * n), (hi - lo) * n) };
+        simd::gemm_transb(hi - lo, n, k, &a.as_slice()[lo * k..hi * k], bt.as_slice(), cchunk);
     });
     c
 }
 
-/// Dot product with 4-way unrolled accumulation (mirrors the coalesced /
-/// parallel-reduction structure of the paper's GPU word2vec kernel).
+/// Dot product via the runtime-dispatched SIMD kernel (AVX2/FMA or NEON
+/// when available, unrolled scalar otherwise) — the CPU analog of the
+/// paper's coalesced / parallel-reduction GPU word2vec kernel.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += a[base + lane] * b[base + lane];
-        }
-    }
-    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        total += a[i] * b[i];
-    }
-    total
+    simd::dot(a, b)
 }
 
 #[cfg(test)]

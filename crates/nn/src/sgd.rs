@@ -89,8 +89,8 @@ impl Sgd {
             self.velocity = grads.iter().map(|g| Tensor2::zeros(g.rows(), g.cols())).collect();
         }
         for ((p, g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
-            v.scale(self.momentum);
-            v.axpy(-self.lr, g);
+            // v ← μv − lr·g in one fused pass, then w ← w + v.
+            v.scale_accum(self.momentum, -self.lr, g);
             p.axpy(1.0, v);
         }
     }

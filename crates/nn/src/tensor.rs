@@ -149,16 +149,26 @@ impl Tensor2 {
         out
     }
 
-    /// Element-wise `self += alpha * other`.
+    /// Element-wise `self += alpha * other` (SIMD-dispatched).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor2) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        simd::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Element-wise `self = a · self + b · other` — the fused
+    /// scale-then-accumulate step (SIMD-dispatched), e.g. SGD momentum's
+    /// `v ← μv − lr·g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn scale_accum(&mut self, a: f32, b: f32, other: &Tensor2) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in scale_accum");
+        simd::scale_accum(&mut self.data, a, b, &other.data);
     }
 
     /// Scales every element by `s`.

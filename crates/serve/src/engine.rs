@@ -133,9 +133,9 @@ impl QueryEngine {
                     if i == u as usize {
                         continue;
                     }
-                    let row = emb.get(i as NodeId);
-                    let dot: f32 = query.iter().zip(row).map(|(a, b)| a * b).sum();
-                    local.push((i as NodeId, dot));
+                    // SIMD-dispatched dot: the brute-force scan is pure
+                    // dot-product throughput.
+                    local.push((i as NodeId, simd::dot(&query, emb.get(i as NodeId))));
                 }
                 sort_topk(&mut local, k);
                 local

@@ -1,0 +1,82 @@
+//! Portable scalar reference kernels.
+//!
+//! These are the semantic ground truth for every vector backend: the
+//! property tests in `tests/equivalence.rs` assert that the AVX2 and NEON
+//! paths agree with these loops within f32 reassociation tolerance. They
+//! are also the dispatch fallback on hardware without SIMD support, under
+//! Miri (`cfg(miri)`), and when `SIMD_FORCE_SCALAR` is set.
+//!
+//! The loops are written in the 4-lane unrolled style the rest of the
+//! workspace already used, so LLVM auto-vectorizes them where profitable —
+//! "scalar" here means "no explicit intrinsics", not "no vector units".
+
+/// Dot product `Σ a[i]·b[i]` with 4-way unrolled accumulation.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..a.len() {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+/// `y[i] += a · x[i]`.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y[i] = a · y[i] + b · x[i]` — the fused scale-then-accumulate step
+/// (SGD momentum `v ← μv − lr·g` is `scale_accum(v, μ, −lr, g)`).
+pub fn scale_accum(y: &mut [f32], a: f32, b: f32, x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = a * *yi + b * xi;
+    }
+}
+
+/// The fused SGNS gradient step for one (context, target) pair *after* the
+/// sigmoid: given `g = (label − σ(f)) · lr`, performs
+///
+/// ```text
+/// e[i] += g · t[i]      (accumulate the input-side error)
+/// t[i] += g · h[i]      (update the output-side row)
+/// ```
+///
+/// in one pass, so `t` is loaded once instead of twice and no `tmp` copy
+/// of the pre-update row is needed.
+pub fn fused_sigmoid_grad(g: f32, h: &[f32], t: &mut [f32], e: &mut [f32]) {
+    debug_assert_eq!(h.len(), t.len());
+    debug_assert_eq!(h.len(), e.len());
+    for i in 0..h.len() {
+        let tv = t[i];
+        e[i] += g * tv;
+        t[i] = tv + g * h[i];
+    }
+}
+
+/// `C = A · Bᵀ` where `a` is `m × k`, `bt` is `n × k` (i.e. `B`
+/// pre-transposed) and `c` is `m × n`, all row-major and packed. `c` is
+/// overwritten, not accumulated into.
+pub fn gemm_transb(m: usize, n: usize, k: usize, a: &[f32], bt: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            *cj = dot(arow, &bt[j * k..(j + 1) * k]);
+        }
+    }
+}

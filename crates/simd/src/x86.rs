@@ -1,0 +1,207 @@
+//! AVX2 + FMA kernels for x86-64.
+//!
+//! # Safety
+//!
+//! Every function here is `#[target_feature(enable = "avx2", enable =
+//! "fma")]` and therefore `unsafe` to call: the caller must guarantee the
+//! CPU supports both features. The only caller is the dispatch table in
+//! `lib.rs`, which selects this module strictly after
+//! `is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")`
+//! returns true, so the contract holds for the process lifetime (CPU
+//! features cannot disappear at runtime).
+//!
+//! Memory safety inside the kernels is bounds-driven, not type-driven: all
+//! pointer arithmetic stays within `slice.len()` elements of the slice the
+//! pointer was derived from (`while i + W <= n` main loops, scalar
+//! remainder loops for the tail), and unaligned loads/stores
+//! (`loadu`/`storeu`) are used throughout so no alignment precondition
+//! exists. See DESIGN.md §10 for the full argument.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+#[cfg(target_arch = "x86")]
+use core::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// Horizontal sum of the 8 lanes of `v`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehdup_ps(s);
+    let sums = _mm_add_ps(s, shuf);
+    let shuf2 = _mm_movehl_ps(shuf, sums);
+    _mm_cvtss_f32(_mm_add_ss(sums, shuf2))
+}
+
+/// Dot product with two 8-lane FMA accumulators.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 =
+            _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 8)), _mm256_loadu_ps(bp.add(i + 8)), acc1);
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let mut total = hsum256(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        total += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    total
+}
+
+/// `y += a · x` with 8-lane FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let va = _mm256_set1_ps(a);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    // 2×8 unroll: the two FMAs are independent, halving loop-control
+    // overhead on this store-bound kernel.
+    while i + 16 <= n {
+        let r0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+        let r1 =
+            _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i + 8)), _mm256_loadu_ps(yp.add(i + 8)));
+        _mm256_storeu_ps(yp.add(i), r0);
+        _mm256_storeu_ps(yp.add(i + 8), r1);
+        i += 16;
+    }
+    if i + 8 <= n {
+        let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+        _mm256_storeu_ps(yp.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        *yp.add(i) += a * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// `y = a·y + b·x` with 8-lane FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale_accum(y: &mut [f32], a: f32, b: f32, x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let va = _mm256_set1_ps(a);
+    let vb = _mm256_set1_ps(b);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let scaled = _mm256_mul_ps(va, _mm256_loadu_ps(yp.add(i)));
+        let r = _mm256_fmadd_ps(vb, _mm256_loadu_ps(xp.add(i)), scaled);
+        _mm256_storeu_ps(yp.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        *yp.add(i) = a * *yp.add(i) + b * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// Fused SGNS step: `e += g·t; t += g·h`, loading `t` once.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn fused_sigmoid_grad(g: f32, h: &[f32], t: &mut [f32], e: &mut [f32]) {
+    debug_assert_eq!(h.len(), t.len());
+    debug_assert_eq!(h.len(), e.len());
+    let n = h.len();
+    let vg = _mm256_set1_ps(g);
+    let hp = h.as_ptr();
+    let tp = t.as_mut_ptr();
+    let ep = e.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let tv = _mm256_loadu_ps(tp.add(i));
+        let hv = _mm256_loadu_ps(hp.add(i));
+        let ev = _mm256_loadu_ps(ep.add(i));
+        _mm256_storeu_ps(ep.add(i), _mm256_fmadd_ps(vg, tv, ev));
+        _mm256_storeu_ps(tp.add(i), _mm256_fmadd_ps(vg, hv, tv));
+        i += 8;
+    }
+    while i < n {
+        let tv = *tp.add(i);
+        *ep.add(i) += g * tv;
+        *tp.add(i) = tv + g * *hp.add(i);
+        i += 1;
+    }
+}
+
+/// Register-blocked `C = A · Bᵀ` microkernel: each step keeps one 8-lane
+/// panel of the `A` row in registers and FMAs it against four `Bᵀ` rows at
+/// once (1×4 blocking), so every `A` load feeds four accumulators. Column
+/// and `k` remainders fall back to the single-row dot.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gemm_transb(m: usize, n: usize, k: usize, a: &[f32], bt: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let ap = a.as_ptr();
+    let bp = bt.as_ptr();
+    let cp = c.as_mut_ptr();
+    for i in 0..m {
+        let ar = ap.add(i * k);
+        let cr = cp.add(i * n);
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = bp.add(j * k);
+            let b1 = bp.add((j + 1) * k);
+            let b2 = bp.add((j + 2) * k);
+            let b3 = bp.add((j + 3) * k);
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            let mut p = 0;
+            while p + 8 <= k {
+                let av = _mm256_loadu_ps(ar.add(p));
+                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0.add(p)), acc0);
+                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1.add(p)), acc1);
+                acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2.add(p)), acc2);
+                acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3.add(p)), acc3);
+                p += 8;
+            }
+            let mut s0 = hsum256(acc0);
+            let mut s1 = hsum256(acc1);
+            let mut s2 = hsum256(acc2);
+            let mut s3 = hsum256(acc3);
+            while p < k {
+                let av = *ar.add(p);
+                s0 += av * *b0.add(p);
+                s1 += av * *b1.add(p);
+                s2 += av * *b2.add(p);
+                s3 += av * *b3.add(p);
+                p += 1;
+            }
+            *cr.add(j) = s0;
+            *cr.add(j + 1) = s1;
+            *cr.add(j + 2) = s2;
+            *cr.add(j + 3) = s3;
+            j += 4;
+        }
+        while j < n {
+            *cr.add(j) = dot(
+                core::slice::from_raw_parts(ar, k),
+                core::slice::from_raw_parts(bp.add(j * k), k),
+            );
+            j += 1;
+        }
+    }
+}

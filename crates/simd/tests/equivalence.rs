@@ -1,0 +1,158 @@
+//! Property tests: the dispatched kernels agree with the scalar reference
+//! within 1e-4 relative tolerance, across every remainder-lane case
+//! (lengths 0..=67 cover all residues mod 8 and mod 16 plus the blocked
+//! GEMM's 1×4 column remainders) and across unaligned slice offsets
+//! (0..=3 elements, shifting 16-/32-byte alignment).
+//!
+//! On SIMD hardware these exercise the intrinsics paths; under
+//! `SIMD_FORCE_SCALAR=1` or Miri they degenerate to scalar-vs-scalar,
+//! which must then agree exactly.
+
+/// Deterministic splitmix64 stream → f32 in [-1, 1).
+struct Stream(u64);
+
+impl Stream {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 1.0
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.next_f32()).collect()
+    }
+}
+
+const REL_TOL: f32 = 1e-4;
+
+fn assert_close(got: f32, want: f32, ctx: &str) {
+    let scale = 1.0f32.max(want.abs());
+    assert!((got - want).abs() <= REL_TOL * scale, "{ctx}: dispatched {got} vs scalar {want}");
+}
+
+fn assert_all_close(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_close(*g, *w, &format!("{ctx}[{i}]"));
+    }
+}
+
+/// Lengths covering every SIMD remainder case: the AVX2 dot unrolls by 16
+/// with an 8-wide step and scalar tail, so 0..=67 hits all residues.
+const LENS: std::ops::RangeInclusive<usize> = 0..=67;
+
+/// Element offsets used to de-align slices from their allocation start.
+const OFFSETS: [usize; 4] = [0, 1, 2, 3];
+
+#[test]
+fn dot_matches_scalar_reference() {
+    let mut s = Stream(1);
+    for len in LENS {
+        for off in OFFSETS {
+            let a = s.vec(len + off);
+            let b = s.vec(len + off);
+            let (a, b) = (&a[off..], &b[off..]);
+            assert_close(
+                simd::dot(a, b),
+                simd::scalar::dot(a, b),
+                &format!("dot len={len} off={off}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn axpy_matches_scalar_reference() {
+    let mut s = Stream(2);
+    for len in LENS {
+        for off in OFFSETS {
+            let x = s.vec(len + off);
+            let y0 = s.vec(len + off);
+            let alpha = s.next_f32() * 3.0;
+            let mut got = y0.clone();
+            let mut want = y0;
+            simd::axpy(alpha, &x[off..], &mut got[off..]);
+            simd::scalar::axpy(alpha, &x[off..], &mut want[off..]);
+            assert_all_close(&got, &want, &format!("axpy len={len} off={off}"));
+        }
+    }
+}
+
+#[test]
+fn scale_accum_matches_scalar_reference() {
+    let mut s = Stream(3);
+    for len in LENS {
+        for off in OFFSETS {
+            let x = s.vec(len + off);
+            let y0 = s.vec(len + off);
+            let (a, b) = (s.next_f32(), s.next_f32() * 2.0);
+            let mut got = y0.clone();
+            let mut want = y0;
+            simd::scale_accum(&mut got[off..], a, b, &x[off..]);
+            simd::scalar::scale_accum(&mut want[off..], a, b, &x[off..]);
+            assert_all_close(&got, &want, &format!("scale_accum len={len} off={off}"));
+        }
+    }
+}
+
+#[test]
+fn fused_sigmoid_grad_matches_scalar_reference() {
+    let mut s = Stream(4);
+    for len in LENS {
+        for off in OFFSETS {
+            let h = s.vec(len + off);
+            let t0 = s.vec(len + off);
+            let e0 = s.vec(len + off);
+            let g = s.next_f32() * 0.5;
+            let (mut tg, mut eg) = (t0.clone(), e0.clone());
+            let (mut tw, mut ew) = (t0, e0);
+            simd::fused_sigmoid_grad(g, &h[off..], &mut tg[off..], &mut eg[off..]);
+            simd::scalar::fused_sigmoid_grad(g, &h[off..], &mut tw[off..], &mut ew[off..]);
+            assert_all_close(&tg, &tw, &format!("fused t len={len} off={off}"));
+            assert_all_close(&eg, &ew, &format!("fused e len={len} off={off}"));
+        }
+    }
+}
+
+#[test]
+fn gemm_matches_scalar_reference() {
+    let mut s = Stream(5);
+    // Shapes hitting the 1×4 column blocking, its remainders, and k-tails.
+    for (m, n, k) in [
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 4, 8),
+        (2, 5, 3),
+        (3, 4, 16),
+        (4, 7, 9),
+        (5, 3, 67),
+        (7, 13, 33),
+        (8, 8, 64),
+        (16, 17, 24),
+    ] {
+        let a = s.vec(m * k);
+        let bt = s.vec(n * k);
+        let mut got = vec![f32::NAN; m * n];
+        let mut want = vec![f32::NAN; m * n];
+        simd::gemm_transb(m, n, k, &a, &bt, &mut got);
+        simd::scalar::gemm_transb(m, n, k, &a, &bt, &mut want);
+        assert_all_close(&got, &want, &format!("gemm {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn gemm_overwrites_stale_output() {
+    // C must be fully overwritten, never accumulated into.
+    let (m, n, k) = (3, 5, 6);
+    let mut s = Stream(6);
+    let a = s.vec(m * k);
+    let bt = s.vec(n * k);
+    let mut fresh = vec![0.0f32; m * n];
+    let mut stale = vec![123.0f32; m * n];
+    simd::gemm_transb(m, n, k, &a, &bt, &mut fresh);
+    simd::gemm_transb(m, n, k, &a, &bt, &mut stale);
+    assert_eq!(fresh, stale);
+}
