@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use par::ParConfig;
 use std::hint::black_box;
-use twalk::{generate_walks, TransitionSampler, WalkConfig};
+use twalk::{generate_walks, generate_walks_prepared, TransitionSampler, WalkConfig, WalkEngine};
 
 fn bench_walks_per_node(c: &mut Criterion) {
     let g = tgraph::gen::preferential_attachment(10_000, 3, 1).undirected(true).build();
@@ -77,6 +77,48 @@ fn bench_graph_size(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // Engine comparison in the batched engine's target regime (DESIGN.md
+    // §11): a degree-skewed preferential-attachment graph large enough
+    // that per-walk pointer chasing misses cache, m = 16 undirected
+    // (mean degree ~32), the compute-heavy softmax sampler, 4 threads.
+    // Sampler preparation is hoisted out so the timed region is the walk
+    // kernel alone; `Auto` should land on `batched` here.
+    let g = tgraph::gen::preferential_attachment(150_000, 16, 9).undirected(true).build();
+    let base = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(9);
+    let sampler = base.sampler.prepare(&g);
+    let par = ParConfig::with_threads(4).chunk_size(64);
+    let mut group = c.benchmark_group("rwalk/engine");
+    group.sample_size(10);
+    for engine in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Auto] {
+        group.bench_function(BenchmarkId::from_parameter(engine), |b| {
+            let cfg = base.engine(engine);
+            b.iter(|| black_box(generate_walks_prepared(&g, &cfg, &sampler, &par)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_small_graph(c: &mut Criterion) {
+    // Auto non-regression guard for the small-graph sweep configs
+    // (fig08/fig10 scale): here the working set fits in cache, `Auto`
+    // must resolve to the per-walk engine, and its times must track the
+    // explicit per-walk rows.
+    let g = tgraph::gen::preferential_attachment(10_000, 3, 5).undirected(true).build();
+    let base = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(5);
+    let sampler = base.sampler.prepare(&g);
+    let par = ParConfig::with_threads(4).chunk_size(64);
+    let mut group = c.benchmark_group("rwalk/engine_small_graph");
+    group.sample_size(10);
+    for engine in [WalkEngine::PerWalk, WalkEngine::Auto] {
+        group.bench_function(BenchmarkId::from_parameter(engine), |b| {
+            let cfg = base.engine(engine);
+            b.iter(|| black_box(generate_walks_prepared(&g, &cfg, &sampler, &par)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_neighbor_lookup(c: &mut Criterion) {
     // Ablation: binary search vs the paper Algorithm 1's O(M) linear scan
     // in `sampleLatest` — the reason the implementation keeps adjacency
@@ -112,6 +154,8 @@ criterion_group!(
     bench_sampler,
     bench_sampler_high_degree,
     bench_graph_size,
+    bench_engine,
+    bench_engine_small_graph,
     bench_neighbor_lookup
 );
 criterion_main!(benches);

@@ -5,9 +5,11 @@
 //! rwalk linkpred  [--dataset NAME | --wel FILE] [--scale S] [--walks K]
 //!                 [--len N] [--dim D] [--threads T] [--gpu] [--seed X]
 //!                 [--sampler uniform|softmax|recency|linear] [--static]
+//!                 [--engine auto|perwalk|batched]
 //! rwalk nodeclass [--dataset NAME] [--scale S] [--walks K] [--len N]
 //!                 [--dim D] [--threads T] [--gpu] [--seed X]
 //!                 [--sampler uniform|softmax|recency|linear] [--static]
+//!                 [--engine auto|perwalk|batched]
 //! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
 //! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
 //! rwalk serve     [--dataset NAME | --wel FILE] [--scale S] [--port P]
@@ -17,8 +19,10 @@
 //!
 //! `--sampler` selects the walk transition bias (default `softmax`, the
 //! paper's Eq. 1); `--static` ignores timestamps entirely — the static
-//! DeepWalk baseline. `--scale`, `--walks`, `--len`, and `--dim` must be
-//! positive.
+//! DeepWalk baseline. `--engine` selects the walk execution strategy
+//! (default `auto`; walks are bit-identical across engines, so this is a
+//! pure performance knob). `--scale`, `--walks`, `--len`, and `--dim`
+//! must be positive.
 //!
 //! `serve` trains a link model and serves it over the JSON-lines TCP
 //! protocol (see the README's "Serving" section); `--smoke` starts the
@@ -28,7 +32,7 @@
 use std::process::ExitCode;
 
 use rwalk_core::{Backend, EmbeddingStrategy, Hyperparams, Pipeline};
-use twalk::TransitionSampler;
+use twalk::{TransitionSampler, WalkEngine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +76,7 @@ struct Options {
     seed: u64,
     gpu: bool,
     sampler: TransitionSampler,
+    engine: WalkEngine,
     static_walks: bool,
     port: u16,
     max_batch: usize,
@@ -93,6 +98,7 @@ impl Options {
             seed: 42,
             gpu: false,
             sampler: TransitionSampler::Softmax,
+            engine: WalkEngine::Auto,
             static_walks: false,
             port: 7878,
             max_batch: 64,
@@ -123,6 +129,9 @@ impl Options {
                 "--gpu" => o.gpu = true,
                 "--sampler" => {
                     o.sampler = val("--sampler")?.parse().map_err(|e| format!("--sampler: {e}"))?
+                }
+                "--engine" => {
+                    o.engine = val("--engine")?.parse().map_err(|e| format!("--engine: {e}"))?
                 }
                 "--static" => o.static_walks = true,
                 "--port" => o.port = val("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
@@ -179,6 +188,7 @@ impl Options {
             .with_threads(self.threads)
             .with_seed(self.seed)
             .with_sampler(self.sampler)
+            .with_engine(self.engine)
             .with_strategy(strategy)
     }
 

@@ -1,6 +1,6 @@
 //! Pipeline hyperparameters.
 
-use twalk::TransitionSampler;
+use twalk::{TransitionSampler, WalkEngine};
 
 /// How node embeddings are produced (phases 1–2).
 ///
@@ -53,6 +53,9 @@ pub struct Hyperparams {
     pub dim: usize,
     /// Walk transition probability model.
     pub sampler: TransitionSampler,
+    /// Walk execution strategy (per-walk vs step-synchronous batched; a
+    /// pure performance knob, walks are engine-independent).
+    pub engine: WalkEngine,
     /// word2vec skip-gram window.
     pub window: usize,
     /// word2vec negative samples.
@@ -97,6 +100,7 @@ impl Hyperparams {
             walk_length: 6,
             dim: 8,
             sampler: TransitionSampler::Softmax,
+            engine: WalkEngine::Auto,
             window: 5,
             negatives: 5,
             w2v_epochs: 3,
@@ -181,6 +185,14 @@ impl Hyperparams {
         self
     }
 
+    /// Sets the walk execution engine; flows into [`Self::walk_config`]
+    /// and from there through `Pipeline` and `IncrementalEmbedder`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: WalkEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Sets the thread count (`0` = all).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -203,6 +215,7 @@ impl Hyperparams {
         twalk::WalkConfig::new(self.walks_per_node, self.walk_length)
             .sampler(self.sampler)
             .seed(self.seed)
+            .engine(self.engine)
     }
 
     /// The word2vec configuration this setting implies.
@@ -253,6 +266,14 @@ mod tests {
         assert_eq!(hp.walk_config().walks_per_node, 10);
         assert_eq!(hp.walk_config().seed, 9);
         assert_eq!(hp.train_options().epochs, hp.train_epochs);
+    }
+
+    #[test]
+    fn engine_flows_into_walk_config() {
+        let hp = Hyperparams::paper_optimal();
+        assert_eq!(hp.walk_config().engine, WalkEngine::Auto);
+        let hp = hp.with_engine(WalkEngine::Batched);
+        assert_eq!(hp.walk_config().engine, WalkEngine::Batched);
     }
 
     #[test]

@@ -108,7 +108,8 @@ impl Pipeline {
                     let cfg = twalk::WalkConfig::new(k, self.hp.walk_length)
                         .sampler(self.hp.sampler)
                         .seed(self.hp.seed.wrapping_add(s as u64))
-                        .respect_time(false);
+                        .respect_time(false)
+                        .engine(self.hp.engine);
                     // Each snapshot is its own graph, so each needs its own
                     // prepared sampler.
                     let sampler = cfg.sampler.prepare(&snap);

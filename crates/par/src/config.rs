@@ -35,7 +35,14 @@ impl ParConfig {
         Self { threads: threads.max(1), chunk: 256 }
     }
 
-    /// Sets the dynamic-scheduling chunk size (clamped to at least 1).
+    /// Sets the dynamic-scheduling chunk size.
+    ///
+    /// Policy: a chunk size of zero is *clamped to one*, not rejected — a
+    /// degenerate chunk request means "schedule as finely as possible",
+    /// and single-item chunks are that limit. The same clamp is applied by
+    /// [`crate::ChunkQueue::new`], so a zero chunk can never reach a
+    /// scheduling loop and stall it (a zero-stride atomic cursor would
+    /// hand every worker the same empty range forever).
     #[must_use]
     pub fn chunk_size(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
@@ -56,5 +63,34 @@ impl ParConfig {
 impl Default for ParConfig {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_zero_clamps_to_one() {
+        let cfg = ParConfig::with_threads(2).chunk_size(0);
+        assert_eq!(cfg.chunk(), 1);
+    }
+
+    #[test]
+    fn zero_chunk_config_still_covers_whole_range() {
+        // End-to-end guard for the clamp policy: a zero chunk request must
+        // not stall or skip items in the scheduling loop.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = AtomicUsize::new(0);
+        crate::parallel_chunks(&ParConfig::with_threads(3).chunk_size(0), 100, |s, e| {
+            assert_eq!(e, s + 1, "zero chunk degenerates to single-item chunks");
+            seen.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(seen.into_inner(), 100);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ParConfig::with_threads(0).threads(), 1);
     }
 }

@@ -26,7 +26,8 @@ mod reduce;
 
 pub use config::ParConfig;
 pub use pool::{
-    parallel_chunks, parallel_chunks_shared, parallel_for, parallel_for_index, TaskPool,
+    parallel_chunks, parallel_chunks_shared, parallel_for, parallel_for_index, parallel_workers,
+    ChunkQueue, TaskPool,
 };
 pub use reduce::{parallel_map_reduce, parallel_reduce_with};
 

@@ -7,12 +7,127 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crate::ParConfig;
 
+/// A dynamic work queue handing out disjoint chunk ranges of `0..len`.
+///
+/// This is the atomic-cursor "work-stealing" heart of every parallel loop
+/// in this crate, exposed so callers can drive the worker loop themselves:
+/// a worker that pulls chunks via [`ChunkQueue::next_chunk`] keeps its own
+/// per-thread scratch state alive *across* chunks, which per-chunk closure
+/// APIs like [`parallel_chunks`] cannot express. The batched walk engine
+/// relies on this to reuse its frontier-grouping arenas between blocks.
+///
+/// A chunk size of zero is clamped to one, mirroring
+/// [`ParConfig::chunk_size`]'s documented policy.
+///
+/// # Examples
+///
+/// ```
+/// use par::ChunkQueue;
+///
+/// let q = ChunkQueue::new(10, 4);
+/// assert_eq!(q.next_chunk(), Some((0, 4)));
+/// assert_eq!(q.next_chunk(), Some((4, 8)));
+/// assert_eq!(q.next_chunk(), Some((8, 10)));
+/// assert_eq!(q.next_chunk(), None);
+/// ```
+#[derive(Debug)]
+pub struct ChunkQueue {
+    cursor: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkQueue {
+    /// Creates a queue over `0..len` dealing chunks of `chunk` items
+    /// (clamped to at least 1).
+    pub fn new(len: usize, chunk: usize) -> Self {
+        Self { cursor: AtomicUsize::new(0), len, chunk: chunk.max(1) }
+    }
+
+    /// Claims the next unclaimed chunk as a half-open `(start, end)` range,
+    /// or `None` once the queue is drained. Safe to call from any number of
+    /// threads; claimed chunks are disjoint and together partition `0..len`
+    /// exactly.
+    pub fn next_chunk(&self) -> Option<(usize, usize)> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some((start, (start + self.chunk).min(self.len)))
+        }
+    }
+
+    /// Total number of items the queue deals out.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue covers an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items per claimed chunk (except possibly the last).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+/// Spawns the configured number of workers and hands each the shared
+/// [`ChunkQueue`] over `0..len`; each worker invocation drains chunks with
+/// [`ChunkQueue::next_chunk`] until the queue is empty.
+///
+/// Unlike [`parallel_chunks`], the worker closure is entered *once per
+/// thread*, so scratch buffers allocated at the top of `worker` persist
+/// across all chunks that thread processes — the pattern the batched walk
+/// engine uses for its grouping arenas.
+///
+/// With one effective thread the worker runs inline on the caller's
+/// thread (no spawn).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use par::{parallel_workers, ParConfig};
+///
+/// let sum = AtomicUsize::new(0);
+/// parallel_workers(&ParConfig::with_threads(4).chunk_size(8), 100, |queue| {
+///     let mut local = 0; // per-worker state, lives across chunks
+///     while let Some((start, end)) = queue.next_chunk() {
+///         local += end - start;
+///     }
+///     sum.fetch_add(local, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 100);
+/// ```
+pub fn parallel_workers<F>(cfg: &ParConfig, len: usize, worker: F)
+where
+    F: Fn(&ChunkQueue) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let queue = ChunkQueue::new(len, cfg.chunk());
+    let threads = cfg.threads().min(len.div_ceil(queue.chunk())).max(1);
+    if threads == 1 {
+        worker(&queue);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(&queue));
+        }
+    });
+}
+
 /// Runs `body(start..end)` over disjoint chunks of `0..len` on the
 /// configured number of threads, handing out chunks dynamically.
 ///
 /// This is the direct analog of `#pragma omp parallel for schedule(dynamic)`
-/// used by the paper's random-walk kernel: an atomic cursor acts as the
-/// shared work queue and idle threads grab ("steal") the next chunk.
+/// used by the paper's random-walk kernel: an atomic cursor (a
+/// [`ChunkQueue`]) acts as the shared work queue and idle threads grab
+/// ("steal") the next chunk.
 ///
 /// The chunk bounds passed to `body` partition `0..len` exactly; `body` may
 /// run concurrently on different chunks.
@@ -20,31 +135,9 @@ pub fn parallel_chunks<F>(cfg: &ParConfig, len: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    if len == 0 {
-        return;
-    }
-    let threads = cfg.threads().min(len.div_ceil(cfg.chunk())).max(1);
-    if threads == 1 {
-        let mut start = 0;
-        while start < len {
-            let end = (start + cfg.chunk()).min(len);
+    parallel_workers(cfg, len, |queue| {
+        while let Some((start, end)) = queue.next_chunk() {
             body(start, end);
-            start = end;
-        }
-        return;
-    }
-    let cursor = AtomicUsize::new(0);
-    let chunk = cfg.chunk();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + chunk).min(len);
-                body(start, end);
-            });
         }
     });
 }
@@ -337,6 +430,52 @@ mod tests {
             seen.fetch_add(e - s, Ordering::SeqCst);
         });
         assert_eq!(seen.into_inner(), 37);
+    }
+
+    #[test]
+    fn chunk_queue_zero_chunk_clamps_to_one() {
+        // Documented policy: a zero chunk size degenerates to single-item
+        // chunks rather than an infinite loop or a panic.
+        let q = ChunkQueue::new(3, 0);
+        assert_eq!(q.chunk(), 1);
+        assert_eq!(q.next_chunk(), Some((0, 1)));
+        assert_eq!(q.next_chunk(), Some((1, 2)));
+        assert_eq!(q.next_chunk(), Some((2, 3)));
+        assert_eq!(q.next_chunk(), None);
+    }
+
+    #[test]
+    fn chunk_queue_is_exhausted_exactly_once_across_threads() {
+        let q = ChunkQueue::new(10_000, 7);
+        let claimed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some((s, e)) = q.next_chunk() {
+                        assert!(s < e && e <= 10_000);
+                        claimed.fetch_add(e - s, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(claimed.into_inner(), 10_000);
+        assert_eq!(q.next_chunk(), None);
+    }
+
+    #[test]
+    fn workers_keep_state_across_chunks() {
+        // Each worker counts how many chunks it drained; the per-worker
+        // totals must sum to the chunk count of the whole range, proving
+        // one closure invocation spans many chunks.
+        let total_chunks = AtomicUsize::new(0);
+        parallel_workers(&ParConfig::with_threads(3).chunk_size(10), 95, |queue| {
+            let mut mine = 0usize;
+            while queue.next_chunk().is_some() {
+                mine += 1;
+            }
+            total_chunks.fetch_add(mine, Ordering::Relaxed);
+        });
+        assert_eq!(total_chunks.into_inner(), 95usize.div_ceil(10));
     }
 
     #[test]

@@ -75,6 +75,44 @@ impl TemporalGraph {
         self.offsets[v]..self.offsets[v + 1]
     }
 
+    /// Hints the CPU to pull `v`'s CSR offsets entry toward L1.
+    ///
+    /// First stage of the walk engine's two-stage prefetch pipeline: the
+    /// segment bounds themselves live behind a random load into `offsets`,
+    /// so they are prefetched further ahead than the segment data they
+    /// unlock (see [`Self::prefetch_segment`]). Pure hint — never faults,
+    /// even for out-of-range ids.
+    #[inline(always)]
+    pub fn prefetch_offsets(&self, v: NodeId) {
+        crate::prefetch::prefetch_read(self.offsets.as_ptr().wrapping_add(v as usize));
+    }
+
+    /// Hints the CPU to pull `v`'s neighbor segment toward L1: the
+    /// timestamp slice's first, middle, and last cache lines (the probe
+    /// points of the upcoming `partition_point` binary searches) plus the
+    /// head of the destination slice.
+    ///
+    /// Reads `offsets[v]` to locate the segment, so call
+    /// [`Self::prefetch_offsets`] a few iterations earlier to keep that
+    /// load itself from stalling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn prefetch_segment(&self, v: NodeId) {
+        let v = v as usize;
+        let (a, b) = (self.offsets[v], self.offsets[v + 1]);
+        if a == b {
+            return;
+        }
+        let times = self.times.as_ptr();
+        crate::prefetch::prefetch_read(times.wrapping_add(a));
+        crate::prefetch::prefetch_read(times.wrapping_add((a + b) / 2));
+        crate::prefetch::prefetch_read(times.wrapping_add(b - 1));
+        crate::prefetch::prefetch_read(self.dsts.as_ptr().wrapping_add(a));
+    }
+
     /// Iterator over `(dst, time)` pairs of `v` in ascending-time order.
     ///
     /// # Examples
@@ -284,6 +322,17 @@ mod tests {
         assert_eq!(d.len(), 3);
         let (d, _) = g.neighbors_after(1, 10.0);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn prefetch_accessors_accept_every_vertex() {
+        // Hints must be callable for any vertex, including zero-degree
+        // ones, without touching out-of-bounds memory.
+        let g = toy();
+        for v in 0..g.num_nodes() as NodeId {
+            g.prefetch_offsets(v);
+            g.prefetch_segment(v);
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod error;
 pub mod gen;
 mod graph;
 pub mod io;
+pub mod prefetch;
 pub mod stats;
 
 pub use builder::GraphBuilder;

@@ -53,6 +53,65 @@ impl std::str::FromStr for TransitionSampler {
     }
 }
 
+/// Execution strategy for the bulk walk kernels (DESIGN.md §11).
+///
+/// Every engine produces bit-identical walks for a given
+/// `(seed, sampler)` — each `(walk, vertex)` pair draws from its own RNG
+/// stream, so execution order is free to change — which is what makes the
+/// engine a pure performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WalkEngine {
+    /// Run each walk to completion before starting the next (the paper's
+    /// Algorithm 1 loop nest). Best when the graph's hot segments fit in
+    /// cache: no frontier bookkeeping, every step is a handful of
+    /// instructions.
+    PerWalk,
+    /// Step-synchronous batched execution (`twalk::engine::batched`):
+    /// advance a block of walks one hop per round, counting-sort the
+    /// active walks by current vertex so co-located walks share one hot
+    /// neighbor segment, and software-prefetch upcoming segments. Best on
+    /// large, degree-skewed graphs where per-walk pointer chasing is
+    /// memory-latency-bound.
+    Batched,
+    /// Choose per run from the graph's shape: when the estimated frontier
+    /// working set (mean degree × frontier size × per-edge bytes) exceeds
+    /// [`WalkConfig::auto_llc_bytes`], pick [`WalkEngine::Batched`],
+    /// otherwise [`WalkEngine::PerWalk`].
+    #[default]
+    Auto,
+}
+
+impl std::fmt::Display for WalkEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WalkEngine::PerWalk => "perwalk",
+            WalkEngine::Batched => "batched",
+            WalkEngine::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for WalkEngine {
+    type Err = String;
+
+    /// Parses the CLI spelling: `perwalk` (alias `per-walk`), `batched`,
+    /// `auto`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "perwalk" | "per-walk" => Ok(WalkEngine::PerWalk),
+            "batched" => Ok(WalkEngine::Batched),
+            "auto" => Ok(WalkEngine::Auto),
+            other => Err(format!("unknown engine {other:?} (expected perwalk, batched, or auto)")),
+        }
+    }
+}
+
+/// Default [`WalkConfig::auto_llc_bytes`]: a conservative stand-in for
+/// the last-level-cache size of current server parts (32 MiB). Runs whose
+/// estimated frontier working set stays under this keep the cheaper
+/// per-walk engine.
+pub const DEFAULT_AUTO_LLC_BYTES: usize = 32 << 20;
+
 /// Configuration of the temporal random walk kernel.
 ///
 /// `walks_per_node` is the paper's `K`, `max_length` the paper's `N`; the
@@ -90,6 +149,14 @@ pub struct WalkConfig {
     /// dynamic graphs as static "would inevitably incur information
     /// loss"). Defaults to `true`.
     pub respect_time: bool,
+    /// Execution strategy for the bulk kernels; a pure performance knob,
+    /// output is engine-independent. Defaults to [`WalkEngine::Auto`].
+    pub engine: WalkEngine,
+    /// Threshold for [`WalkEngine::Auto`]: estimated frontier working-set
+    /// bytes above which the batched engine is selected. Defaults to
+    /// [`DEFAULT_AUTO_LLC_BYTES`]; override it to match the actual
+    /// last-level cache of the deployment machine.
+    pub auto_llc_bytes: usize,
 }
 
 impl WalkConfig {
@@ -109,6 +176,8 @@ impl WalkConfig {
             seed: 0,
             start_time: f64::NEG_INFINITY,
             respect_time: true,
+            engine: WalkEngine::default(),
+            auto_llc_bytes: DEFAULT_AUTO_LLC_BYTES,
         }
     }
 
@@ -143,6 +212,20 @@ impl WalkConfig {
     #[must_use]
     pub fn respect_time(mut self, yes: bool) -> Self {
         self.respect_time = yes;
+        self
+    }
+
+    /// Sets the execution strategy for the bulk kernels.
+    #[must_use]
+    pub fn engine(mut self, engine: WalkEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the [`WalkEngine::Auto`] working-set threshold (bytes).
+    #[must_use]
+    pub fn auto_llc_bytes(mut self, bytes: usize) -> Self {
+        self.auto_llc_bytes = bytes;
         self
     }
 }
@@ -182,5 +265,24 @@ mod tests {
         assert_eq!("softmax-recency".parse(), Ok(TransitionSampler::SoftmaxRecency));
         assert_eq!("linear-time".parse(), Ok(TransitionSampler::LinearTime));
         assert!("deepwalk".parse::<TransitionSampler>().is_err());
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Auto] {
+            assert_eq!(e.to_string().parse::<WalkEngine>(), Ok(e));
+        }
+        assert_eq!("per-walk".parse(), Ok(WalkEngine::PerWalk));
+        assert!("gpu".parse::<WalkEngine>().is_err());
+    }
+
+    #[test]
+    fn engine_defaults_to_auto() {
+        let cfg = WalkConfig::new(1, 2);
+        assert_eq!(cfg.engine, WalkEngine::Auto);
+        assert_eq!(cfg.auto_llc_bytes, DEFAULT_AUTO_LLC_BYTES);
+        let cfg = cfg.engine(WalkEngine::Batched).auto_llc_bytes(1);
+        assert_eq!(cfg.engine, WalkEngine::Batched);
+        assert_eq!(cfg.auto_llc_bytes, 1);
     }
 }

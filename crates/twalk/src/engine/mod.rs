@@ -9,12 +9,102 @@
 //! stay source-compatible. [`walk_from`] keeps the direct-evaluation
 //! sampling path as the executable reference the prepared kernel is
 //! verified against.
+//!
+//! Two execution strategies run the same kernel ([`crate::WalkEngine`]):
+//! the classic per-walk loop nest below, and the step-synchronous
+//! [`batched`] engine that trades bookkeeping for memory-level
+//! parallelism on large graphs. Both produce bit-identical output because
+//! every `(walk, vertex)` pair draws from its own RNG stream; the engine
+//! is resolved per run by [`resolved_engine`].
 
 use par::{parallel_chunks_shared, ParConfig};
 use tgraph::{NodeId, TemporalGraph, Time};
 
 use crate::sampler::{direct_linear, direct_softmax, PreparedSampler};
-use crate::{TransitionSampler, WalkConfig, WalkRng, WalkSet};
+use crate::{TransitionSampler, WalkConfig, WalkEngine, WalkRng, WalkSet};
+
+pub mod batched;
+
+/// How bulk-run walk slot indices map to `(walk number, start vertex)`
+/// pairs: slot `w * stride + i` is walk `w` from the `i`-th start.
+#[derive(Debug, Clone, Copy)]
+enum StartSet<'a> {
+    /// Full run over every vertex: start `i` is vertex `i` itself.
+    AllVertices(usize),
+    /// Incremental refresh: start `i` is `sources[i]` (repeats allowed).
+    Sources(&'a [NodeId]),
+}
+
+impl StartSet<'_> {
+    /// Number of starts per walk round (`n` or `sources.len()`).
+    #[inline]
+    fn stride(&self) -> usize {
+        match self {
+            StartSet::AllVertices(n) => *n,
+            StartSet::Sources(s) => s.len(),
+        }
+    }
+
+    /// Start vertex of the `i`-th start slot.
+    #[inline]
+    fn vertex(&self, i: usize) -> NodeId {
+        match self {
+            StartSet::AllVertices(_) => i as NodeId,
+            StartSet::Sources(s) => s[i],
+        }
+    }
+}
+
+/// The engine a bulk run with this configuration will actually execute:
+/// [`WalkEngine::Auto`] is resolved against the graph's shape, explicit
+/// choices pass through. Exposed so benchmarks and tests can observe the
+/// Auto heuristic without rerunning it.
+pub fn resolved_engine(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    total_walks: usize,
+) -> WalkEngine {
+    match cfg.engine {
+        WalkEngine::Auto => {
+            if auto_picks_batched(g, cfg, sampler, total_walks) {
+                WalkEngine::Batched
+            } else {
+                WalkEngine::PerWalk
+            }
+        }
+        explicit => explicit,
+    }
+}
+
+/// The Auto heuristic (DESIGN.md §11): batched execution pays off once a
+/// round's frontier no longer fits in the last-level cache, because only
+/// then does per-walk pointer chasing actually miss. The frontier working
+/// set is estimated as one neighbor segment per distinct active vertex —
+/// mean degree × per-edge bytes (timestamps + destinations + CDF entry
+/// when the sampler carries tables) plus the CSR offsets entry — times
+/// the number of distinct start vertices a block can hold. Tiny runs
+/// (under one batch block) always stay per-walk: they cannot amortize the
+/// grouping bookkeeping.
+fn auto_picks_batched(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    total_walks: usize,
+) -> bool {
+    let n = g.num_nodes();
+    if n == 0 || total_walks < batched::MIN_BLOCK {
+        return false;
+    }
+    let mean_degree = g.num_edges() as f64 / n as f64;
+    let frontier = total_walks.min(n) as f64;
+    let per_edge = (std::mem::size_of::<Time>()
+        + std::mem::size_of::<NodeId>()
+        + if sampler.stats().table_bytes > 0 { std::mem::size_of::<f64>() } else { 0 })
+        as f64;
+    let per_vertex = mean_degree * per_edge + std::mem::size_of::<usize>() as f64;
+    frontier * per_vertex > cfg.auto_llc_bytes as f64
+}
 
 /// Generates `K` temporal walks from every vertex, parallelizing the
 /// middle (vertex) loop with dynamic scheduling — the arrangement the paper
@@ -59,36 +149,80 @@ pub fn generate_walks_prepared(
     par: &ParConfig,
 ) -> WalkSet {
     assert!(sampler.matches_graph(g), "sampler was prepared for a different graph");
-    let n = g.num_nodes();
-    let k = cfg.walks_per_node;
-    let nl = cfg.max_length;
-    let total = n * k;
-    let mut nodes = vec![0 as NodeId; total * nl];
-    let mut lengths = vec![0u32; total];
-
     // One contiguous output row per (walk w, vertex v): index w * n + v,
     // matching Algorithm 1's loop nest (outer walk loop, inner vertex loop).
-    {
+    run_bulk(g, cfg, sampler, par, StartSet::AllVertices(g.num_nodes()))
+}
+
+/// Shared skeleton of the bulk entry points: allocates the output matrix
+/// and runs the engine [`resolved_engine`] picks over the start set.
+fn run_bulk(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    par: &ParConfig,
+    starts: StartSet<'_>,
+) -> WalkSet {
+    let nl = cfg.max_length;
+    let total = starts.stride() * cfg.walks_per_node;
+    let mut nodes = vec![0 as NodeId; total * nl];
+    let mut lengths = vec![0u32; total];
+    if total > 0 {
         let nodes_ptr = nodes.as_mut_ptr() as usize;
         let lengths_ptr = lengths.as_mut_ptr() as usize;
-        parallel_chunks_shared(par, sampler, total, |sampler, start, end| {
-            // SAFETY: chunks are disjoint subranges of 0..total; each row
-            // of `nodes` and slot of `lengths` is written by exactly one
-            // worker.
-            let nodes = nodes_ptr as *mut NodeId;
-            let lengths = lengths_ptr as *mut u32;
-            for idx in start..end {
-                let w = idx / n;
-                let v = (idx % n) as NodeId;
-                let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
-                let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
-                let len = walk_into(g, sampler, cfg, v, &mut rng, row);
-                unsafe { *lengths.add(idx) = len as u32 };
+        match resolved_engine(g, cfg, sampler, total) {
+            WalkEngine::Batched => {
+                batched::run(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr)
             }
-        });
+            _ => run_per_walk(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr),
+        }
     }
-
     WalkSet::from_parts(nodes, lengths, nl).with_sampler_stats(sampler.stats())
+}
+
+/// The classic engine: each walk runs to completion inside its chunk.
+///
+/// `nodes_ptr` / `lengths_ptr` address buffers of `total * cfg.max_length`
+/// node ids and `total` lengths; chunks are disjoint, so each output row
+/// is written by exactly one worker.
+#[allow(clippy::too_many_arguments)]
+fn run_per_walk(
+    g: &TemporalGraph,
+    cfg: &WalkConfig,
+    sampler: &PreparedSampler,
+    par: &ParConfig,
+    starts: StartSet<'_>,
+    total: usize,
+    nodes_ptr: usize,
+    lengths_ptr: usize,
+) {
+    let stride = starts.stride();
+    let nl = cfg.max_length;
+    parallel_chunks_shared(par, sampler, total, |sampler, start, end| {
+        // SAFETY: chunks are disjoint subranges of 0..total; each row
+        // of `nodes` and slot of `lengths` is written by exactly one
+        // worker.
+        let nodes = nodes_ptr as *mut NodeId;
+        let lengths = lengths_ptr as *mut u32;
+        // One division locates the chunk's (walk, start) position; the
+        // pair is then carried as counters so the hot loop runs
+        // division-free (idx / stride and idx % stride per iteration
+        // showed up on short-walk configs).
+        let mut w = start / stride;
+        let mut i = start % stride;
+        for idx in start..end {
+            let v = starts.vertex(i);
+            let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
+            let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
+            let len = walk_into(g, sampler, cfg, v, &mut rng, row);
+            unsafe { *lengths.add(idx) = len as u32 };
+            i += 1;
+            if i == stride {
+                i = 0;
+                w += 1;
+            }
+        }
+    });
 }
 
 /// Serial reference implementation of [`generate_walks`], used by tests and
@@ -139,29 +273,7 @@ pub fn generate_walks_from_prepared(
     assert!(sampler.matches_graph(g), "sampler was prepared for a different graph");
     let n = g.num_nodes();
     assert!(sources.iter().all(|&v| (v as usize) < n), "walk source out of range");
-    let k = cfg.walks_per_node;
-    let nl = cfg.max_length;
-    let total = sources.len() * k;
-    let mut nodes = vec![0 as NodeId; total * nl];
-    let mut lengths = vec![0u32; total];
-    if !sources.is_empty() {
-        let nodes_ptr = nodes.as_mut_ptr() as usize;
-        let lengths_ptr = lengths.as_mut_ptr() as usize;
-        parallel_chunks_shared(par, sampler, total, |sampler, start, end| {
-            // SAFETY: disjoint chunk ranges; each output row written once.
-            let nodes = nodes_ptr as *mut NodeId;
-            let lengths = lengths_ptr as *mut u32;
-            for idx in start..end {
-                let w = idx / sources.len();
-                let v = sources[idx % sources.len()];
-                let mut rng = WalkRng::from_stream(cfg.seed, w as u64, v as u64);
-                let row = unsafe { std::slice::from_raw_parts_mut(nodes.add(idx * nl), nl) };
-                let len = walk_into(g, sampler, cfg, v, &mut rng, row);
-                unsafe { *lengths.add(idx) = len as u32 };
-            }
-        });
-    }
-    WalkSet::from_parts(nodes, lengths, nl).with_sampler_stats(sampler.stats())
+    run_bulk(g, cfg, sampler, par, StartSet::Sources(sources))
 }
 
 /// Performs a single temporal walk from `start` and returns its vertices.

@@ -33,6 +33,14 @@
 //! as the paper found optimal, and results are deterministic in the seed
 //! regardless of thread count (per-walk RNG streams).
 //!
+//! Two execution strategies run the kernel ([`WalkEngine`]): the classic
+//! per-walk loop nest, and the step-synchronous batched engine
+//! ([`engine::batched`]) that advances blocks of walks one hop per round,
+//! grouping active walks by current vertex and software-prefetching
+//! upcoming segments to hide memory latency on large graphs. Both produce
+//! bit-identical output; [`WalkEngine::Auto`] (the default) picks per run
+//! from the graph's estimated working set.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,17 +56,17 @@
 //! ```
 
 mod config;
-mod engine;
+pub mod engine;
 mod rng;
 pub mod sampler;
 pub mod stats;
 mod walkset;
 
-pub use config::{TransitionSampler, WalkConfig};
+pub use config::{TransitionSampler, WalkConfig, WalkEngine, DEFAULT_AUTO_LLC_BYTES};
 pub use engine::{
     generate_walks, generate_walks_from, generate_walks_from_prepared, generate_walks_prepared,
-    generate_walks_serial, walk_from,
+    generate_walks_serial, resolved_engine, walk_from,
 };
 pub use rng::WalkRng;
 pub use sampler::{PreparedSampler, SamplerBuildStats, TransitionBias};
-pub use walkset::WalkSet;
+pub use walkset::{WalkIter, WalkSet};

@@ -182,6 +182,29 @@ impl PreparedSampler {
         self.num_nodes == g.num_nodes() && self.num_edges == g.num_edges()
     }
 
+    /// Hints the CPU to pull `v`'s slice of the CDF table toward L1 —
+    /// the sampler half of the batched engine's segment prefetch. Probes
+    /// the slice's first, middle, and last cache lines (the first
+    /// positions the sampling binary search will inspect). A no-op for
+    /// table-free samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the prepared graph.
+    #[inline]
+    pub fn prefetch(&self, v: NodeId) {
+        if let PreparedKind::Cdf { starts, cdf } = &self.kind {
+            let (a, b) = (starts[v as usize], starts[v as usize + 1]);
+            if a == b {
+                return;
+            }
+            let p = cdf.as_ptr();
+            tgraph::prefetch::prefetch_read(p.wrapping_add(a));
+            tgraph::prefetch::prefetch_read(p.wrapping_add((a + b) / 2));
+            tgraph::prefetch::prefetch_read(p.wrapping_add(b - 1));
+        }
+    }
+
     /// Samples the next edge for vertex `v` among the valid suffix
     /// `times[lo..]`, returning an absolute segment index.
     ///

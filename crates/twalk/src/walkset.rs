@@ -73,6 +73,11 @@ impl WalkSet {
 
     /// Iterator over all walks as vertex slices.
     ///
+    /// The returned [`WalkIter`] is an [`ExactSizeIterator`] (and
+    /// double-ended), and `&WalkSet` implements [`IntoIterator`], so
+    /// corpus consumers can write `for walk in &walks` instead of indexing
+    /// with [`Self::walk`].
+    ///
     /// # Examples
     ///
     /// ```
@@ -81,11 +86,12 @@ impl WalkSet {
     ///
     /// let g = tgraph::gen::erdos_renyi(50, 400, 3).build();
     /// let walks = generate_walks(&g, &WalkConfig::new(2, 4), &ParConfig::with_threads(1));
-    /// let total: usize = walks.iter().map(|w| w.len()).sum();
+    /// assert_eq!(walks.iter().len(), walks.num_walks());
+    /// let total: usize = (&walks).into_iter().map(|w| w.len()).sum();
     /// assert_eq!(total, walks.total_vertices());
     /// ```
-    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
-        (0..self.num_walks()).map(move |i| self.walk(i))
+    pub fn iter(&self) -> WalkIter<'_> {
+        WalkIter { set: self, front: 0, back: self.num_walks() }
     }
 
     /// Total number of vertex occurrences across all walks (the word2vec
@@ -132,9 +138,77 @@ impl WalkSet {
     }
 }
 
+/// Iterator over a [`WalkSet`]'s walks as vertex slices, in storage order.
+///
+/// Created by [`WalkSet::iter`] or iterating `&WalkSet`. Reports an exact
+/// length and supports iteration from both ends.
+#[derive(Debug, Clone)]
+pub struct WalkIter<'a> {
+    set: &'a WalkSet,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for WalkIter<'a> {
+    type Item = &'a [NodeId];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.front < self.back {
+            let w = self.set.walk(self.front);
+            self.front += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.back - self.front;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for WalkIter<'_> {}
+
+impl DoubleEndedIterator for WalkIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front < self.back {
+            self.back -= 1;
+            Some(self.set.walk(self.back))
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WalkSet {
+    type Item = &'a [NodeId];
+    type IntoIter = WalkIter<'a>;
+
+    fn into_iter(self) -> WalkIter<'a> {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn walk_iter_is_exact_and_double_ended() {
+        let set = WalkSet::from_walks(&[vec![1, 2], vec![3], vec![4, 5, 6]], 3);
+        let mut it = set.iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.next(), Some(&[1u32, 2][..]));
+        assert_eq!(it.next_back(), Some(&[4u32, 5, 6][..]));
+        assert_eq!(it.len(), 1);
+        assert_eq!(it.next(), Some(&[3u32][..]));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+        // `for w in &set` works and visits walks in storage order.
+        let lens: Vec<usize> = (&set).into_iter().map(<[u32]>::len).collect();
+        assert_eq!(lens, vec![2, 1, 3]);
+    }
 
     #[test]
     fn from_walks_round_trip() {
