@@ -1,0 +1,110 @@
+//! Metrics-overhead gate: the global recorder ON must cost < 2% over OFF
+//! on the instrumented walk + word2vec hot paths.
+//!
+//! This is the enforcement half of the obs crate's design contract
+//! (DESIGN.md §12): every instrumentation point is either post-hoc,
+//! per-chunk-flushed, or behind a single relaxed bool load, so enabling
+//! metrics must be invisible at the workload level. The gate runs the
+//! same workload with the recorder off and on, interleaved A/B to cancel
+//! drift, compares min-of-N times, and exits nonzero if ON exceeds
+//! OFF × (1 + threshold).
+//!
+//! Custom harness (not the criterion shim) because the gate needs to
+//! toggle process-global state between timed sections and to *assert* on
+//! the ratio, not just report it. Results are still appended to
+//! `$BENCH_JSON` in the shim's JSON-lines schema so the CI perf artifact
+//! picks them up.
+//!
+//! Knobs: `--test` shrinks rep counts for smoke runs;
+//! `OBS_OVERHEAD_MAX_PCT` overrides the threshold (CI uses the default).
+
+use std::time::{Duration, Instant};
+
+use par::ParConfig;
+use std::hint::black_box;
+use twalk::WalkConfig;
+
+/// One instrumented workload pass: RW-P1 walks then RW-P2 word2vec, the
+/// two phases with per-round / per-chunk recorder traffic.
+fn workload(g: &tgraph::TemporalGraph, par: &ParConfig) -> Duration {
+    let t0 = Instant::now();
+    let cfg = WalkConfig::new(4, 8).seed(3);
+    let walks = twalk::generate_walks(g, &cfg, par);
+    let w2v = embed::Word2VecConfig::default().dim(8).epochs(1).seed(5);
+    black_box(embed::train(&walks, g.num_nodes(), &w2v, par));
+    t0.elapsed()
+}
+
+fn append_json(name: &str, samples: usize, min: Duration, mean: Duration, max: Duration) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("BENCH_JSON").filter(|p| !p.is_empty()) else {
+        return;
+    };
+    let line = format!(
+        "{{\"bench\":\"{name}\",\"samples\":{samples},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("BENCH_JSON: could not append: {e}");
+    }
+}
+
+fn stats(times: &[Duration]) -> (Duration, Duration, Duration) {
+    let min = *times.iter().min().unwrap();
+    let max = *times.iter().max().unwrap();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    (min, mean, max)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let reps = if test_mode { 3 } else { 9 };
+    let max_pct: f64 =
+        std::env::var("OBS_OVERHEAD_MAX_PCT").ok().and_then(|s| s.parse().ok()).unwrap_or(2.0);
+
+    let g = tgraph::gen::preferential_attachment(4_000, 4, 11).undirected(true).build();
+    let par = ParConfig::default();
+
+    // Warm caches, the thread pool, and the lazily-initialized global
+    // registry outside the timed region.
+    obs::set_global_enabled(true);
+    let _ = workload(&g, &par);
+    obs::set_global_enabled(false);
+    let _ = workload(&g, &par);
+
+    // Interleave OFF/ON passes so frequency scaling and background noise
+    // hit both sides equally.
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        obs::set_global_enabled(false);
+        off.push(workload(&g, &par));
+        obs::set_global_enabled(true);
+        on.push(workload(&g, &par));
+    }
+    obs::set_global_enabled(false);
+
+    let (off_min, off_mean, off_max) = stats(&off);
+    let (on_min, on_mean, on_max) = stats(&on);
+    append_json("obs_overhead/walk+w2v/recorder_off", reps, off_min, off_mean, off_max);
+    append_json("obs_overhead/walk+w2v/recorder_on", reps, on_min, on_mean, on_max);
+
+    let overhead_pct = (on_min.as_secs_f64() / off_min.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "obs overhead gate: off min {:.3} ms, on min {:.3} ms, overhead {overhead_pct:+.2}% (limit {max_pct}%)",
+        off_min.as_secs_f64() * 1e3,
+        on_min.as_secs_f64() * 1e3,
+    );
+    assert!(
+        overhead_pct < max_pct,
+        "metrics recorder overhead {overhead_pct:.2}% exceeds the {max_pct}% budget \
+         (off min {off_min:?}, on min {on_min:?})"
+    );
+}

@@ -24,6 +24,12 @@
 //! pure performance knob). `--scale`, `--walks`, `--len`, and `--dim`
 //! must be positive.
 //!
+//! Every command additionally accepts `--metrics-out <path>`: it enables
+//! the process-global metrics recorder and, after the command succeeds,
+//! writes a JSON snapshot of every counter/gauge/histogram to `<path>` —
+//! including the `pipeline_phase_ns{phase=…}` spans that reproduce the
+//! paper's Fig. 7 phase breakdown (DESIGN.md §12).
+//!
 //! `serve` trains a link model and serves it over the JSON-lines TCP
 //! protocol (see the README's "Serving" section); `--smoke` starts the
 //! server on a loopback port, issues one query of each type against it,
@@ -47,6 +53,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The recorder must be on before any phase runs; handles resolved
+    // while it is off are permanent no-ops.
+    if opts.metrics_out.is_some() {
+        obs::set_global_enabled(true);
+    }
     let result = match cmd.as_str() {
         "datasets" => cmd_datasets(&opts),
         "linkpred" => cmd_linkpred(&opts),
@@ -56,6 +67,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
+    let result = result.and_then(|()| write_metrics_snapshot(&opts));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -63,6 +75,17 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Dumps the global registry as JSON to `--metrics-out`, if requested.
+fn write_metrics_snapshot(opts: &Options) -> Result<(), String> {
+    let Some(path) = &opts.metrics_out else {
+        return Ok(());
+    };
+    let json = obs::global_registry().snapshot().to_json();
+    std::fs::write(path, json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    println!("metrics snapshot written to {path}");
+    Ok(())
 }
 
 struct Options {
@@ -83,6 +106,7 @@ struct Options {
     max_wait_us: u64,
     refresh_ms: u64,
     smoke: bool,
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -105,6 +129,7 @@ impl Options {
             max_wait_us: 200,
             refresh_ms: 1_000,
             smoke: false,
+            metrics_out: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -148,6 +173,7 @@ impl Options {
                         val("--refresh-ms")?.parse().map_err(|e| format!("--refresh-ms: {e}"))?
                 }
                 "--smoke" => o.smoke = true,
+                "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -388,6 +414,7 @@ fn smoke_check(server: &rwserve::Server) -> Result<(), String> {
         r#"{"op":"topk","u":0,"k":3}"#,
         r#"{"op":"ingest","edges":[[0,1,0.99]]}"#,
         r#"{"op":"stats"}"#,
+        r#"{"op":"metrics"}"#,
     ];
     for request in requests {
         stream.write_all(format!("{request}\n").as_bytes()).map_err(|e| e.to_string())?;
@@ -398,6 +425,9 @@ fn smoke_check(server: &rwserve::Server) -> Result<(), String> {
         println!("< {response}");
         if !response.contains("\"ok\":true") {
             return Err(format!("smoke query failed: {request} -> {response}"));
+        }
+        if request.contains("metrics") && !response.contains("serve_request_ns") {
+            return Err(format!("metrics scrape has no latency histograms: {response}"));
         }
     }
     println!("smoke: all {} protocol ops answered ok", requests.len());

@@ -1,0 +1,129 @@
+//! Black-box tests for the `rwalk` binary: exit codes and stderr for
+//! every rejected flag combination, plus the `--metrics-out` snapshot.
+//!
+//! These run the real binary (`CARGO_BIN_EXE_rwalk`), so they cover the
+//! whole arg-parsing path including the exhaustive "valid values" error
+//! listings from the `FromStr` impls in `twalk::config`.
+
+use std::process::{Command, Output};
+
+fn rwalk(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rwalk")).args(args).output().expect("spawn rwalk")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn rejected_flag_combinations_fail_with_explanations() {
+    // (args, substring that must appear on stderr)
+    let cases: &[(&[&str], &str)] = &[
+        // Unknown sampler/engine spellings list every valid value.
+        (&["linkpred", "--sampler", "sofmax"], "valid values"),
+        (&["linkpred", "--sampler", "sofmax"], "uniform, softmax, recency"),
+        (&["linkpred", "--sampler", ""], "valid values"),
+        (&["nodeclass", "--dataset", "dblp3", "--sampler", "temporal"], "unknown sampler"),
+        (&["linkpred", "--engine", "batch"], "valid values"),
+        (&["linkpred", "--engine", "batch"], "auto, perwalk"),
+        (&["linkpred", "--engine", "gpu"], "unknown engine"),
+        // Degenerate numeric values are rejected with the flag named.
+        (&["linkpred", "--scale", "0"], "--scale"),
+        (&["linkpred", "--scale", "-1"], "--scale"),
+        (&["linkpred", "--scale", "NaN"], "--scale"),
+        (&["linkpred", "--scale", "x"], "--scale"),
+        (&["linkpred", "--walks", "0"], "--walks"),
+        (&["linkpred", "--len", "0"], "--len"),
+        (&["linkpred", "--dim", "0"], "--dim"),
+        (&["linkpred", "--walks", "-3"], "--walks"),
+        (&["serve", "--max-batch", "0"], "--max-batch"),
+        (&["serve", "--refresh-ms", "0"], "--refresh-ms"),
+        // Structural errors.
+        (&["linkpred", "--no-such-flag"], "unknown flag"),
+        (&["linkpred", "--sampler"], "--sampler needs a value"),
+        (&["linkpred", "--metrics-out"], "--metrics-out needs a value"),
+        (&["frobnicate"], "unknown command"),
+        (&["linkpred", "--dataset", "no-such-dataset", "--scale", "0.05"], "unknown dataset"),
+        (&["nodeclass", "--dataset", "ia-email", "--scale", "0.05"], "no labels"),
+    ];
+    for (args, needle) in cases {
+        let out = rwalk(args);
+        assert!(!out.status.success(), "rwalk {args:?} unexpectedly succeeded");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "rwalk {args:?}: stderr {err:?} missing {needle:?}");
+    }
+
+    // No arguments at all prints usage and fails.
+    let out = rwalk(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn accepted_spellings_are_case_and_separator_insensitive() {
+    // `datasets` runs no pipeline, so this stays fast while still going
+    // through the same Options::parse path.
+    for args in [
+        ["datasets", "--sampler", "SOFTMAX"],
+        ["datasets", "--sampler", "linear_time"],
+        ["datasets", "--engine", "Per_Walk"],
+        ["datasets", "--engine", "BATCHED"],
+    ] {
+        let out = rwalk(&args);
+        assert!(out.status.success(), "rwalk {args:?} failed: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn metrics_out_snapshot_has_all_pipeline_phases() {
+    let dir = std::env::temp_dir().join(format!("rwalk-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = rwalk(&[
+        "linkpred",
+        "--dataset",
+        "ia-email",
+        "--scale",
+        "0.05",
+        "--walks",
+        "2",
+        "--len",
+        "4",
+        "--dim",
+        "4",
+        "--metrics-out",
+        path_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "linkpred failed: {}\n{}",
+        stderr(&out),
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    let v = rwserve::json::Json::parse(&text).expect("snapshot is valid JSON");
+    let histograms = v.get("histograms").expect("histograms section");
+    for phase in ["rw_p1_walk", "rw_p2_word2vec", "rw_p3_train", "rw_p4_test"] {
+        let name = format!("pipeline_phase_ns{{phase=\"{phase}\"}}");
+        let h = histograms.get(&name).unwrap_or_else(|| panic!("missing {name} in {text}"));
+        let sum = h.get("sum").and_then(rwserve::json::Json::as_f64).unwrap();
+        assert!(sum > 0.0, "phase {phase} recorded zero duration: {text}");
+        assert_eq!(h.get("count").and_then(rwserve::json::Json::as_u64), Some(1), "{name}");
+    }
+    // The walk engine's own counters rode along.
+    let counters = v.get("counters").expect("counters section");
+    let walks = counters.get("twalk_walks_total").and_then(rwserve::json::Json::as_u64).unwrap();
+    assert!(walks > 0, "no walks counted: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn without_metrics_out_no_snapshot_is_written_and_runs_succeed() {
+    let out = rwalk(&["datasets", "--scale", "0.05"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("metrics snapshot"));
+}

@@ -208,6 +208,7 @@ impl Pipeline {
             train_per_epoch: train_report.mean_epoch_time(),
             test: test_time,
         };
+        record_phase_spans(g, &phase_times);
         let backend = match &self.backend {
             Backend::Cpu => "cpu",
             Backend::GpuModel(gpu) => {
@@ -317,6 +318,7 @@ impl Pipeline {
             train_per_epoch: train_report.mean_epoch_time(),
             test: test_time,
         };
+        record_phase_spans(g, &phase_times);
         let backend = match &self.backend {
             Backend::Cpu => "cpu",
             Backend::GpuModel(gpu) => {
@@ -420,6 +422,28 @@ impl Pipeline {
             train_per_epoch: per_epoch,
             test: Duration::from_secs_f64(test_est.total_secs()),
         }
+    }
+}
+
+/// Records the measured wall-clock phase breakdown (paper Fig. 7) into the
+/// global metrics registry. Always records the CPU-measured times, even when
+/// the report is later rewritten by the GPU model: the registry reflects what
+/// this process actually spent.
+fn record_phase_spans(g: &TemporalGraph, times: &PhaseTimes) {
+    let rec = obs::Recorder::global();
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.gauge("tgraph_nodes").set(g.num_nodes() as i64);
+    rec.gauge("tgraph_edges").set(g.num_edges() as i64);
+    for (phase, d) in [
+        ("rw_p1_walk", times.rwalk),
+        ("rw_p2_word2vec", times.word2vec),
+        ("data_prep", times.data_prep),
+        ("rw_p3_train", times.train_total),
+        ("rw_p4_test", times.test),
+    ] {
+        rec.record_duration(&format!("pipeline_phase_ns{{phase=\"{phase}\"}}"), d);
     }
 }
 

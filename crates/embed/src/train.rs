@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use par::{parallel_for_index, ParConfig};
+use par::{parallel_chunks, ParConfig};
 use twalk::{WalkRng, WalkSet};
 
 use crate::{
@@ -159,26 +159,52 @@ fn run_training(
     let processed = AtomicU64::new(0);
     let lock = serialize.then(|| Mutex::new(()));
 
+    // Observability (RW-P2): per-epoch wall time plus exact gradient-step
+    // and negative-draw totals. The counts are tallied in plain per-chunk
+    // locals inside the worker and flushed with one relaxed add per
+    // *chunk* (not per sentence, and never per update), so the hogwild
+    // inner loop sees no shared-cacheline traffic from metrics; when the
+    // recorder is off the flush handles are inlined no-ops.
+    let rec = obs::Recorder::global();
+    let epoch_hist = rec.histogram("embed_epoch_ns");
+    let tokens_ctr = rec.counter("embed_tokens_total");
+    let steps_ctr = rec.counter("embed_grad_steps_total");
+    let draws_ctr = rec.counter("embed_negative_draws_total");
+
     let start = Instant::now();
     let mut batches = 0usize;
     for epoch in 0..cfg.epochs {
+        let epoch_t0 = rec.is_enabled().then(Instant::now);
         let mut lo = 0usize;
         while lo < n_sentences {
             let hi = lo.saturating_add(batch_size).min(n_sentences);
             batches += 1;
             let batch_len = hi - lo;
             // Within a batch: concurrent (stale-read tolerant) updates.
-            parallel_for_index(par, batch_len, |i| {
-                let s = lo + i;
-                let walk = corpus.walk(s);
-                let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
-                let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
-                    .max(cfg.min_lr);
-                let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
-                let _guard = lock.as_ref().map(|l| l.lock().expect("word2vec worker panicked"));
-                train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+            parallel_chunks(par, batch_len, |cs, ce| {
+                let mut chunk_steps = 0u64;
+                let mut chunk_draws = 0u64;
+                for i in cs..ce {
+                    let s = lo + i;
+                    let walk = corpus.walk(s);
+                    let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                    let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
+                        .max(cfg.min_lr);
+                    let mut rng = WalkRng::from_stream(cfg.seed, epoch as u64, s as u64);
+                    let _guard = lock.as_ref().map(|l| l.lock().expect("word2vec worker panicked"));
+                    let (steps, draws) =
+                        train_sentence(walk, &syn0, &syn1, &table, &sigmoid, cfg, lr, &mut rng);
+                    chunk_steps += steps;
+                    chunk_draws += draws;
+                }
+                steps_ctr.add(chunk_steps);
+                draws_ctr.add(chunk_draws);
             });
             lo = hi;
+        }
+        if let Some(t0) = epoch_t0 {
+            epoch_hist.record_duration(t0.elapsed());
+            tokens_ctr.add(corpus.total_vertices() as u64);
         }
     }
 
@@ -204,6 +230,10 @@ thread_local! {
 /// One skip-gram pass over a sentence: for every center position, each
 /// in-window context word is pushed toward the center and away from
 /// `negatives` sampled vertices.
+///
+/// Returns `(gradient_steps, negative_table_draws)` for throughput
+/// accounting — tallied in registers alongside the dim-wide FP work, so
+/// the cost is unmeasurable whether or not anyone consumes them.
 #[allow(clippy::too_many_arguments)]
 fn train_sentence(
     walk: &[tgraph::NodeId],
@@ -214,8 +244,10 @@ fn train_sentence(
     cfg: &Word2VecConfig,
     lr: f32,
     rng: &mut WalkRng,
-) {
+) -> (u64, u64) {
     let dim = cfg.dim;
+    let mut steps = 0u64;
+    let mut draws = 0u64;
     SCRATCH.with(|cell| {
         let scratch = &mut *cell.borrow_mut();
         scratch.h.resize(dim, 0.0);
@@ -244,12 +276,14 @@ fn train_sentence(
                     let (target, label) = if k == 0 {
                         (center as usize, 1.0f32)
                     } else {
+                        draws += 1;
                         let t = table.sample(rng) as usize;
                         if t == center as usize {
                             continue;
                         }
                         (t, 0.0)
                     };
+                    steps += 1;
                     match cfg.reduction {
                         Reduction::Simd => {
                             let f = syn1.dot_simd(target, h);
@@ -277,6 +311,7 @@ fn train_sentence(
             }
         }
     });
+    (steps, draws)
 }
 
 #[cfg(test)]

@@ -125,8 +125,18 @@ impl Mlp {
         let mut zs = Vec::with_capacity(l);
         let mut acts: Vec<Tensor2> = Vec::with_capacity(l + 1);
         acts.push(x.clone());
+        // Per-layer GEMM timing (RW-P3/P4 breakdown): one relaxed bool
+        // load per forward when disabled; clock reads and registry
+        // lookups happen only while a recorder is listening, and a GEMM
+        // is µs-scale so the lookup is noise even then.
+        let rec = obs::Recorder::global();
+        let timing = rec.is_enabled();
         for i in 0..l {
+            let t0 = timing.then(std::time::Instant::now);
             let mut z = matmul(&acts[i], &self.weights[i]);
+            if let Some(t0) = t0 {
+                rec.record_duration(&format!("nn_gemm_ns{{layer=\"{i}\"}}"), t0.elapsed());
+            }
             z.add_bias_row(self.biases[i].as_slice());
             let is_last = i + 1 == l;
             if is_last {

@@ -1,0 +1,227 @@
+//! Exporters: Prometheus text exposition format and a JSON snapshot.
+//!
+//! Metric names may embed a static label set in Prometheus syntax
+//! (`pipeline_phase_ns{phase="rw_p1_walk"}`); the exporter splits the
+//! base name from the label block so `# TYPE` lines and histogram
+//! suffixes (`_bucket`/`_sum`/`_count`) land on the base name as the
+//! exposition format requires. The JSON writer is self-contained —
+//! `obs` sits below every other crate and cannot borrow a JSON
+//! implementation from above.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// `name{label="x"}` → (`name`, `label="x"`); plain names yield an empty
+/// label block.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Joins a label block with an extra label (for `le=`).
+fn labels_with(base_labels: &str, extra: &str) -> String {
+    if base_labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{{{base_labels},{extra}}}")
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` headers, one sample line per scalar,
+    /// and cumulative `_bucket{le=…}` / `_sum` / `_count` lines per
+    /// histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed = "";
+        for (name, value) in &self.entries {
+            let (base, labels) = split_labels(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    if last_typed != base {
+                        let _ = writeln!(out, "# TYPE {base} counter");
+                        last_typed = base;
+                    }
+                    let _ = writeln!(out, "{base}{} {v}", braced(labels));
+                }
+                MetricValue::Gauge(v) => {
+                    if last_typed != base {
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                        last_typed = base;
+                    }
+                    let _ = writeln!(out, "{base}{} {v}", braced(labels));
+                }
+                MetricValue::Histogram(h) => {
+                    if last_typed != base {
+                        let _ = writeln!(out, "# TYPE {base} histogram");
+                        last_typed = base;
+                    }
+                    for (le, cum) in h.cumulative() {
+                        let _ = writeln!(
+                            out,
+                            "{base}_bucket{} {cum}",
+                            labels_with(labels, &format!("le=\"{le}\""))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{base}_bucket{} {}",
+                        labels_with(labels, "le=\"+Inf\""),
+                        h.count
+                    );
+                    let _ = writeln!(out, "{base}_sum{} {}", braced(labels), h.sum);
+                    let _ = writeln!(out, "{base}_count{} {}", braced(labels), h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object:
+    /// `{"counters": {…}, "gauges": {…}, "histograms": {name: {"count",
+    /// "sum", "mean", "p50", "p95", "p99"}}}`. Quantiles are finite by
+    /// construction, so the output is always valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    let _ = write!(counters, "{}:{v}", json_string(name));
+                }
+                MetricValue::Gauge(v) => {
+                    if !gauges.is_empty() {
+                        gauges.push(',');
+                    }
+                    let _ = write!(gauges, "{}:{v}", json_string(name));
+                }
+                MetricValue::Histogram(h) => {
+                    if !histograms.is_empty() {
+                        histograms.push(',');
+                    }
+                    let _ = write!(
+                        histograms,
+                        "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        json_string(name),
+                        h.count,
+                        h.sum,
+                        json_f64(h.mean()),
+                        json_f64(h.p50()),
+                        json_f64(h.p95()),
+                        json_f64(h.p99()),
+                    );
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite f64 as a JSON number (quantiles/means are finite by
+/// construction; guard anyway so the emitter can never produce `NaN`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("req_total{op=\"link_score\"}").add(3);
+        r.counter("req_total{op=\"topk\"}").add(1);
+        r.gauge("queue_depth").set(2);
+        let h = r.histogram("lat_ns");
+        h.record(100);
+        h.record(5_000);
+        let text = r.snapshot().to_prometheus();
+
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{op=\"link_score\"} 3"), "{text}");
+        assert!(text.contains("req_total{op=\"topk\"} 1"), "{text}");
+        // One TYPE line per base name even with multiple label sets.
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth 2"), "{text}");
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"128\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"8192\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_sum 5100"), "{text}");
+        assert!(text.contains("lat_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_with_labels_places_le_inside() {
+        let r = Registry::new();
+        r.histogram("phase_ns{phase=\"rw_p1_walk\"}").record(1);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("phase_ns_bucket{phase=\"rw_p1_walk\",le=\"2\"} 1"), "{text}");
+        assert!(text.contains("phase_ns_sum{phase=\"rw_p1_walk\"} 1"), "{text}");
+        assert!(text.contains("phase_ns_count{phase=\"rw_p1_walk\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = Registry::new();
+        r.counter("hops_total").add(7);
+        r.gauge("depth").set(-1);
+        r.histogram("lat_ns").record(1000);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"hops_total\":7"), "{json}");
+        assert!(json.contains("\"depth\":-1"), "{json}");
+        assert!(json.contains("\"lat_ns\":{\"count\":1,\"sum\":1000"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().to_prometheus(), "");
+        assert_eq!(r.snapshot().to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+}

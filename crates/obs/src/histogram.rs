@@ -1,0 +1,378 @@
+//! Fixed-bucket log2 [`Histogram`] with interpolated quantile estimation.
+//!
+//! Values land in power-of-two buckets: bucket 0 holds exactly the value
+//! `0`, bucket `b` (for `1 ≤ b ≤ 63`) holds `[2^(b-1), 2^b)`, and bucket
+//! 64 — the overflow bucket — holds `[2^63, u64::MAX]`. Recording is
+//! three relaxed atomic adds (bucket, count, sum); there is no lock and
+//! no allocation, so the hot path stays wait-free. Quantiles are
+//! estimated from a [`HistogramSnapshot`] by linear interpolation inside
+//! the bucket containing the target rank, which is *exact* for
+//! distributions uniform within a bucket and bounded by the 2× bucket
+//! width otherwise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for zero, one per bit position, one overflow.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Index of the bucket a value falls into.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// `[lo, hi)` value range of bucket `i` (bucket 64's `hi` saturates to
+/// `u64::MAX`, making it inclusive there).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), 1 << b),
+    }
+}
+
+/// Lock-free log2-bucketed histogram of `u64` samples (typically
+/// nanoseconds or sizes).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Three relaxed atomic adds; the running `sum`
+    /// wraps if aggregate magnitude exceeds `u64::MAX` (only reachable by
+    /// deliberately recording near-`u64::MAX` values — see the overflow
+    /// tests).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`, i.e.
+    /// after ~580 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every sample of `other` into `self`. Bucket counts are
+    /// integers, so merging is exact: `merge` of two histograms equals
+    /// recording the union of their samples.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Copies the current state into a plain-data snapshot. Individual
+    /// bucket loads are relaxed, so a snapshot taken concurrently with
+    /// writers may straddle an in-flight `record` (count and bucket sums
+    /// can differ transiently by the number of in-flight writers); each
+    /// loaded word is itself consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]; all quantile math runs here so a
+/// single consistent view is interrogated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see module docs for bucket bounds).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping, see [`Histogram::record`]).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by rank: finds the
+    /// bucket containing the `⌈q·count⌉`-th sample and interpolates
+    /// linearly inside it. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum = next;
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1 as f64
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty) — a
+    /// cheap "max is at most" witness.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c != 0)
+            .map(|(i, _)| bucket_bounds(i).1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(upper_bound, cumulative_count)` over non-empty buckets,
+    /// the shape Prometheus `_bucket{le=…}` lines want.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.buckets.iter().enumerate().filter(|(_, &c)| c != 0).map(move |(i, &c)| {
+            cum += c;
+            (bucket_bounds(i).1, cum)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), 0.0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.max_bound(), 0);
+    }
+
+    // ---- Golden tests against exact quantiles of known distributions ----
+
+    /// Uniform over [0, 2^k): the density is flat, so linear interpolation
+    /// inside log2 buckets is *exact* and the estimates must match the
+    /// true quantiles almost perfectly.
+    #[test]
+    fn golden_uniform_quantiles() {
+        let h = Histogram::new();
+        let n: u64 = if cfg!(miri) { 1 << 10 } else { 1 << 16 };
+        for v in 0..n {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, n);
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+            let exact = q * n as f64;
+            let est = snap.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.01, "uniform q={q}: est {est} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    /// Exponential with mean 10_000 (inverse-CDF sampling): the density
+    /// bends within a bucket, so the estimate is only bucket-resolution
+    /// accurate — assert against the analytical quantile with a tolerance
+    /// well inside the 2× bucket-width bound.
+    #[test]
+    fn golden_exponential_quantiles() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let h = Histogram::new();
+        let n = if cfg!(miri) { 2_000 } else { 200_000 };
+        let mean = 10_000.0f64;
+        for _ in 0..n {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            h.record((-u.ln() * mean) as u64);
+        }
+        let snap = h.snapshot();
+        for q in [0.50f64, 0.95, 0.99] {
+            let exact = -(1.0 - q).ln() * mean;
+            let est = snap.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.30, "exp q={q}: est {est} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    /// Point mass: every sample is the same value, so every quantile must
+    /// land inside that value's bucket.
+    #[test]
+    fn golden_point_mass_quantiles() {
+        let h = Histogram::new();
+        let v = 12_345u64;
+        for _ in 0..1000 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        for q in [0.0, 0.01, 0.50, 0.95, 0.99, 1.0] {
+            let est = snap.quantile(q);
+            assert!(
+                est >= lo as f64 && est <= hi as f64,
+                "point-mass q={q}: est {est} outside bucket [{lo}, {hi}]"
+            );
+        }
+        assert_eq!(snap.mean(), v as f64);
+    }
+
+    // ---- Merge properties ----
+
+    /// merge(a, b) must equal recording the union of the samples, and the
+    /// operation must be associative: (a∪b)∪c = a∪(b∪c).
+    #[test]
+    fn merge_equals_union_and_is_associative() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<u64>> =
+            (0..3).map(|_| (0..500).map(|_| rng.gen_range(0..1_000_000u64)).collect()).collect();
+
+        let record_all = |sets: &[&[u64]]| {
+            let h = Histogram::new();
+            for s in sets {
+                for &v in *s {
+                    h.record(v);
+                }
+            }
+            h.snapshot()
+        };
+        let hist_of = |s: &[u64]| {
+            let h = Histogram::new();
+            for &v in s {
+                h.record(v);
+            }
+            h
+        };
+
+        // merge(a, b) == record(a ∪ b)
+        let ab = hist_of(&samples[0]);
+        ab.merge_from(&hist_of(&samples[1]));
+        assert_eq!(ab.snapshot(), record_all(&[&samples[0], &samples[1]]));
+
+        // ((a ∪ b) ∪ c) == (a ∪ (b ∪ c))
+        let left = hist_of(&samples[0]);
+        left.merge_from(&hist_of(&samples[1]));
+        left.merge_from(&hist_of(&samples[2]));
+        let bc = hist_of(&samples[1]);
+        bc.merge_from(&hist_of(&samples[2]));
+        let right = hist_of(&samples[0]);
+        right.merge_from(&bc);
+        assert_eq!(left.snapshot(), right.snapshot());
+        assert_eq!(left.snapshot(), record_all(&[&samples[0], &samples[1], &samples[2]]));
+    }
+
+    // ---- Overflow bucket at u64::MAX-scale values ----
+
+    #[test]
+    fn overflow_bucket_captures_u64_max_scale() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1 << 63);
+        h.record((1 << 63) - 1); // top of bucket 63, NOT overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[64], 3, "three samples belong to the overflow bucket");
+        assert_eq!(snap.buckets[63], 1);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.max_bound(), u64::MAX);
+        // Quantiles stay finite and within-range even at the extreme.
+        let p99 = snap.p99();
+        assert!(p99.is_finite() && p99 <= u64::MAX as f64);
+        assert!(snap.quantile(1.0) <= u64::MAX as f64);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, 3_000);
+        assert_eq!(snap.buckets[bucket_index(3_000)], 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 4;
+        let per_thread: u64 = if cfg!(miri) { 200 } else { 20_000 };
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), threads * per_thread);
+    }
+}

@@ -1,0 +1,125 @@
+//! Scalar metrics: monotone [`Counter`] and up/down [`Gauge`].
+//!
+//! Both are single atomics updated with `Ordering::Relaxed`: an increment
+//! is one uncontended RMW instruction, and a reader that loads mid-update
+//! simply sees the value before or after — there is no multi-word state
+//! to tear. Relaxed suffices because metric values carry no
+//! happens-before obligations; they are statistical, not synchronizing
+//! (DESIGN.md §12).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count (Prometheus `counter`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping at `u64::MAX`, which at one event per
+    /// nanosecond takes ~580 years to reach).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (Prometheus `gauge`), e.g. a queue
+/// depth. Signed so that a decrement racing ahead of its logical
+/// increment is representable rather than wrapping to `u64::MAX`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_up_and_down() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.sub(9);
+        assert_eq!(g.get(), -2, "gauge must represent transient negatives");
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_exact_under_concurrent_increments() {
+        let c = Arc::new(Counter::new());
+        let threads = 4;
+        let per_thread: u64 = if cfg!(miri) { 100 } else { 10_000 };
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+}

@@ -1,0 +1,87 @@
+//! Named [`Span`] timers: scope guards that record elapsed wall time into
+//! a histogram when stopped (or dropped).
+//!
+//! The pipeline uses one span per paper phase — `rw_p1_walk`,
+//! `rw_p2_word2vec`, `rw_p3_train`, `rw_p4_test` (Fig. 7's breakdown) —
+//! but spans are general: any `Recorder::span(name)` yields one. A
+//! disabled span holds no histogram and never even reads the clock.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// A running timer tied to a histogram; records nanoseconds on
+/// [`Span::stop`] or on drop, whichever comes first.
+#[derive(Debug, Default)]
+pub struct Span {
+    armed: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl Span {
+    /// A span that records nowhere and does not read the clock.
+    pub fn disabled() -> Self {
+        Self { armed: None }
+    }
+
+    /// Starts a span recording into `hist`.
+    pub fn started(hist: Arc<Histogram>) -> Self {
+        Self { armed: Some((hist, Instant::now())) }
+    }
+
+    /// Whether this span will record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Stops the timer now and records the elapsed nanoseconds. Consumes
+    /// the span; dropping without calling `stop` records at drop time
+    /// instead.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some((hist, start)) = self.armed.take() {
+            hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(all(test, not(miri)))] // Instant::now is unsupported under Miri isolation
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_once() {
+        let h = Arc::new(Histogram::new());
+        let span = Span::started(Arc::clone(&h));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.stop();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 2_000_000, "slept 2ms, recorded {}ns", snap.sum);
+    }
+
+    #[test]
+    fn drop_records_once() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = Span::started(Arc::clone(&h));
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let span = Span::disabled();
+        assert!(!span.is_enabled());
+        span.stop();
+    }
+}

@@ -1,0 +1,89 @@
+//! Stress tests for [`par::ChunkQueue`] under thread churn.
+//!
+//! The contract under test: concurrently claimed chunks are pairwise
+//! disjoint and together partition `0..len` exactly — no index is ever
+//! dealt twice, none is skipped — regardless of how many threads join or
+//! leave mid-drain.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use par::{parallel_workers, ChunkQueue, ParConfig};
+
+/// Waves of 1–64 short-lived threads, each draining an uneven share of a
+/// fresh queue; every index must be claimed exactly once per wave.
+#[test]
+fn thread_churn_waves_claim_each_index_exactly_once() {
+    for (wave, &threads) in [1usize, 3, 8, 17, 64].iter().enumerate() {
+        let len = 10_007; // prime, so chunks never divide evenly
+        let chunk = 1 + wave * 13;
+        let queue = Arc::new(ChunkQueue::new(len, chunk));
+        let claims: Arc<Vec<AtomicU8>> = Arc::new((0..len).map(|_| AtomicU8::new(0)).collect());
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || {
+                    let mut claimed = 0usize;
+                    while let Some((start, end)) = queue.next_chunk() {
+                        assert!(start < end && end <= len, "bad chunk ({start}, {end})");
+                        for i in start..end {
+                            claims[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                        claimed += end - start;
+                        // Churn: some threads exit early, leaving their
+                        // share to whoever is still draining.
+                        if t % 3 == 0 && claimed > len / (threads + 1) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Early-exiting threads may leave a tail; drain it on this thread
+        // the way a late-joining worker would.
+        while let Some((start, end)) = queue.next_chunk() {
+            for i in start..end {
+                claims[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "index {i} claimed {} times in wave {wave} ({threads} threads, chunk {chunk})",
+                c.load(Ordering::Relaxed)
+            );
+        }
+        assert_eq!(queue.next_chunk(), None, "drained queue must stay drained");
+    }
+}
+
+/// The same exact-cover contract through the public `parallel_workers`
+/// entry point, across repeated pool setups and teardowns.
+#[test]
+fn parallel_workers_cover_is_exact_across_repeated_pools() {
+    for round in 0..20usize {
+        let len = 4_001 + round * 37;
+        let threads = 1 + round % 8;
+        let claims: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+        let cfg = ParConfig::with_threads(threads).chunk_size(1 + round % 11);
+        parallel_workers(&cfg, len, |queue| {
+            while let Some((start, end)) = queue.next_chunk() {
+                for c in &claims[start..end] {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "round {round}: index {i} not covered once");
+        }
+    }
+}

@@ -60,6 +60,12 @@ struct BatcherShared {
     nonempty: Condvar,
     // Mirrored from the policy so enqueuers know when a batch is full.
     max_batch: usize,
+    // Requests enqueued but not yet drained into a forward pass. Updated
+    // by enqueuers (inc) and the scorer (dec), so after all in-flight
+    // calls return it must read zero.
+    queue_depth: obs::GaugeHandle,
+    // One sample per forward pass: how many requests it covered.
+    batch_sizes: obs::HistogramHandle,
 }
 
 /// Handle to the scorer thread. Dropping it drains outstanding requests
@@ -77,13 +83,34 @@ impl std::fmt::Debug for MicroBatcher {
 
 impl MicroBatcher {
     /// Spawns the scorer thread against `store`, reporting batch sizes to
-    /// `metrics`.
+    /// `metrics`. Observability handles stay disabled; use
+    /// [`MicroBatcher::with_observability`] to attach them.
     pub fn new(store: Arc<EmbeddingStore>, metrics: Arc<Metrics>, policy: BatchPolicy) -> Self {
+        Self::with_observability(
+            store,
+            metrics,
+            policy,
+            obs::GaugeHandle::disabled(),
+            obs::HistogramHandle::disabled(),
+        )
+    }
+
+    /// Like [`MicroBatcher::new`], additionally reporting queue depth to
+    /// `queue_depth` and per-forward-pass batch sizes to `batch_sizes`.
+    pub fn with_observability(
+        store: Arc<EmbeddingStore>,
+        metrics: Arc<Metrics>,
+        policy: BatchPolicy,
+        queue_depth: obs::GaugeHandle,
+        batch_sizes: obs::HistogramHandle,
+    ) -> Self {
         let policy = BatchPolicy { max_batch: policy.max_batch.max(1), ..policy };
         let shared = Arc::new(BatcherShared {
             state: Mutex::new(BatcherState { queue: VecDeque::new(), shutdown: false }),
             nonempty: Condvar::new(),
             max_batch: policy.max_batch,
+            queue_depth,
+            batch_sizes,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
@@ -100,6 +127,7 @@ impl MicroBatcher {
         {
             let mut state = self.shared.state.lock().expect("batcher lock poisoned");
             state.queue.push_back(Pending { u, v, reply });
+            self.shared.queue_depth.add(1);
             // Wake the scorer only on the transitions it acts on: work
             // appearing in an empty queue, and a lingering batch filling
             // up. Intermediate enqueues stay silent — per-request wakeups
@@ -126,6 +154,7 @@ impl MicroBatcher {
             for &(u, v) in pairs {
                 state.queue.push_back(Pending { u, v, reply: reply.clone() });
             }
+            self.shared.queue_depth.add(pairs.len() as i64);
             let after = state.queue.len();
             if (before == 0 && after > 0)
                 || (before < self.shared.max_batch && after >= self.shared.max_batch)
@@ -188,8 +217,10 @@ fn scorer_loop(
                 }
             }
             let take = state.queue.len().min(policy.max_batch);
+            shared.queue_depth.sub(take as i64);
             state.queue.drain(..take).collect::<Vec<_>>()
         };
+        shared.batch_sizes.record(batch.len() as u64);
         // Score outside the lock so enqueuers never wait on the GEMM.
         let snap = store.load();
         let pairs: Vec<(NodeId, NodeId)> = batch.iter().map(|p| (p.u, p.v)).collect();
@@ -326,6 +357,28 @@ mod tests {
         assert_eq!(results[20].0, Err(QueryError::UnknownNode(999)));
         // 21 requests through max_batch = 8 is at most a handful of passes.
         assert!(metrics.snapshot(1).batches <= 6);
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_and_batch_sizes_sum_to_requests() {
+        let registry = Arc::new(obs::Registry::new());
+        let rec = obs::Recorder::with_registry(Arc::clone(&registry));
+        let batcher = MicroBatcher::with_observability(
+            store(20, 3),
+            Arc::new(Metrics::new()),
+            BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) },
+            rec.gauge("serve_batcher_queue_depth"),
+            rec.histogram("serve_batch_size"),
+        );
+        let pairs: Vec<(u32, u32)> = (0..13u32).map(|i| (i, (i + 1) % 20)).collect();
+        let results = batcher.score_all(&pairs);
+        assert!(results.iter().all(|(r, _)| r.is_ok()));
+        let snap = registry.snapshot();
+        // Every enqueued request was drained into some forward pass.
+        assert_eq!(snap.gauge("serve_batcher_queue_depth"), Some(0));
+        let sizes = snap.histogram("serve_batch_size").unwrap();
+        assert_eq!(sizes.sum, 13, "batch sizes account for every request");
+        assert!(sizes.count >= 4, "max_batch=4 forces at least ceil(13/4) passes");
     }
 
     #[test]

@@ -55,8 +55,13 @@ impl std::error::Error for JsonError {}
 
 impl Json {
     /// Parses one complete JSON value; trailing non-whitespace is an error.
+    ///
+    /// Hostile input degrades to `Err`, never to a crash: nesting deeper
+    /// than [`MAX_DEPTH`] is rejected before it can exhaust the stack, and
+    /// numbers that overflow `f64` (e.g. `1e999`) are rejected rather than
+    /// smuggling `inf` into a tree the serializer would re-emit as `null`.
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -182,9 +187,16 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser
+/// recurses once per `[`/`{` level, so the limit bounds stack growth on
+/// adversarial input like `[[[[…`; 128 is far beyond anything the wire
+/// protocol produces (request trees are ≤ 3 deep).
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -234,12 +246,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -255,6 +277,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -264,10 +287,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -278,6 +303,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -386,9 +412,13 @@ impl<'a> Parser<'a> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { offset: start, message: "malformed number".to_string() })
+        match text.parse::<f64>() {
+            // `1e999` parses to inf; JSON has no such value, so reject it
+            // instead of letting it alias null on re-serialization.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(JsonError { offset: start, message: "number overflows f64".to_string() }),
+            Err(_) => Err(JsonError { offset: start, message: "malformed number".to_string() }),
+        }
     }
 }
 
@@ -456,6 +486,28 @@ mod tests {
         assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e309"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.message.contains("overflows"), "{bad}: {err}");
+        }
+        // The largest finite doubles still parse.
+        assert!(Json::parse("1.7976931348623157e308").unwrap().as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn nesting_beyond_max_depth_errors_instead_of_overflowing() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+        // Unclosed towers (the actual attack shape) fail the same way.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&r#"{"a":"#.repeat(100_000)).is_err());
     }
 
     #[test]

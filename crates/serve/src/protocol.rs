@@ -9,6 +9,7 @@
 //! {"op":"topk","u":3,"k":5}
 //! {"op":"ingest","edges":[[3,17,0.9],[17,4,0.95]]}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! ```
 //!
 //! Successful responses carry `"ok":true` plus the payload and the
@@ -48,6 +49,8 @@ pub enum Request {
     },
     /// Serving counters.
     Stats,
+    /// The service's metrics registry rendered as Prometheus text.
+    Metrics,
 }
 
 /// Parses one request line. The error string is ready to embed in an
@@ -80,6 +83,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Ingest { edges })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -140,6 +144,7 @@ mod tests {
             })
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
     }
 
     #[test]

@@ -129,6 +129,15 @@ fn handle_connection(mut stream: TcpStream, service: &Service, stop: &AtomicBool
                     if trimmed.is_empty() {
                         continue;
                     }
+                    // A Prometheus scraper speaks HTTP, not JSON lines.
+                    // Answer the request line directly (the headers that
+                    // follow are irrelevant to a scrape) and close, which
+                    // both HTTP/1.0 and `Connection: close` permit.
+                    if let Some(path) = trimmed.strip_prefix("GET ") {
+                        let path = path.split_whitespace().next().unwrap_or("");
+                        let _ = stream.write_all(http_response(path, service).as_bytes());
+                        return;
+                    }
                     let mut response = service.handle_line(trimmed);
                     response.push('\n');
                     if stream.write_all(response.as_bytes()).is_err() {
@@ -142,6 +151,21 @@ fn handle_connection(mut stream: TcpStream, service: &Service, stop: &AtomicBool
             Err(_) => return,
         }
     }
+}
+
+/// Builds the full HTTP response (status line through body) for a GET.
+/// `/metrics` serves the service registry in Prometheus text format;
+/// anything else is a 404.
+fn http_response(path: &str, service: &Service) -> String {
+    let (status, content_type, body) = if path == "/metrics" {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", service.prometheus_text())
+    } else {
+        ("404 Not Found", "text/plain; charset=utf-8", format!("no such path {path}\n"))
+    };
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
 }
 
 #[cfg(test)]
@@ -207,6 +231,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.service().stats().embedding, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_metrics_serves_prometheus_over_http() {
+        let server = start_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Prime a counter so the scrape has content, on a separate
+        // JSON-lines connection.
+        {
+            let mut json = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(json.try_clone().unwrap());
+            ask(&mut reader, &mut json, r#"{"op":"link_score","u":1,"v":2}"#);
+        }
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains(r#"serve_request_ns_count{op="link_score"} 1"#), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_unknown_path_is_a_404() {
+        let server = start_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 404 Not Found\r\n"), "{response}");
         server.shutdown();
     }
 

@@ -20,6 +20,40 @@ use crate::refresh::Refresher;
 use crate::store::EmbeddingStore;
 use crate::QueryEngine;
 
+/// Per-op request-latency histograms, resolved once at construction so
+/// the request path never touches the registry's shard locks.
+#[derive(Debug)]
+struct OpLatency {
+    link_score: Arc<obs::Histogram>,
+    embedding: Arc<obs::Histogram>,
+    topk: Arc<obs::Histogram>,
+    ingest: Arc<obs::Histogram>,
+    stats: Arc<obs::Histogram>,
+}
+
+impl OpLatency {
+    fn resolve(registry: &obs::Registry) -> Self {
+        let h = |op: &str| registry.histogram(&format!("serve_request_ns{{op=\"{op}\"}}"));
+        Self {
+            link_score: h("link_score"),
+            embedding: h("embedding"),
+            topk: h("topk"),
+            ingest: h("ingest"),
+            stats: h("stats"),
+        }
+    }
+
+    fn for_op(&self, op: OpKind) -> &Arc<obs::Histogram> {
+        match op {
+            OpKind::LinkScore => &self.link_score,
+            OpKind::Embedding => &self.embedding,
+            OpKind::TopK => &self.topk,
+            OpKind::Ingest => &self.ingest,
+            OpKind::Stats => &self.stats,
+        }
+    }
+}
+
 /// The full serving stack minus the transport.
 #[derive(Debug)]
 pub struct Service {
@@ -27,17 +61,30 @@ pub struct Service {
     engine: QueryEngine,
     batcher: MicroBatcher,
     metrics: Arc<Metrics>,
+    registry: Arc<obs::Registry>,
+    latency: OpLatency,
     refresher: Option<Refresher>,
 }
 
 impl Service {
     /// Builds the stack over `store`: a query engine with `par`
-    /// parallelism for scans and a micro-batcher with `policy`.
+    /// parallelism for scans and a micro-batcher with `policy`. Each
+    /// service owns its own metrics registry (scraped via the `metrics`
+    /// op or `GET /metrics`), isolated from the process-global one.
     pub fn new(store: Arc<EmbeddingStore>, par: ParConfig, policy: BatchPolicy) -> Self {
         let metrics = Arc::new(Metrics::new());
+        let registry = Arc::new(obs::Registry::new());
+        let rec = obs::Recorder::with_registry(Arc::clone(&registry));
         let engine = QueryEngine::new(Arc::clone(&store), par);
-        let batcher = MicroBatcher::new(Arc::clone(&store), Arc::clone(&metrics), policy);
-        Self { store, engine, batcher, metrics, refresher: None }
+        let batcher = MicroBatcher::with_observability(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            policy,
+            rec.gauge("serve_batcher_queue_depth"),
+            rec.histogram("serve_batch_size"),
+        );
+        let latency = OpLatency::resolve(&registry);
+        Self { store, engine, batcher, metrics, registry, latency, refresher: None }
     }
 
     /// Attaches a background refresher, enabling the `ingest` op. The
@@ -70,6 +117,18 @@ impl Service {
         self.metrics.snapshot(self.store.version())
     }
 
+    /// The service's metrics registry (per-op latency histograms,
+    /// batcher queue depth and batch sizes).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// Renders the service registry in Prometheus text exposition format
+    /// — the payload behind both the `metrics` op and `GET /metrics`.
+    pub fn prometheus_text(&self) -> String {
+        self.registry.snapshot().to_prometheus()
+    }
+
     /// Answers one protocol line with one response line (no trailing
     /// newline). Never panics on caller input: malformed JSON, unknown
     /// ops, and invalid queries all become `"ok":false` responses.
@@ -88,7 +147,9 @@ impl Service {
             Ok(line) => line,
             Err(message) => error_response(&message),
         };
-        self.metrics.record(op, started.elapsed(), ok);
+        let elapsed = started.elapsed();
+        self.metrics.record(op, elapsed, ok);
+        self.latency.for_op(op).record_duration(elapsed);
         response
     }
 
@@ -160,6 +221,12 @@ impl Service {
                 ]);
                 (OpKind::Stats, Ok(ok_response(vec![("stats", payload)], s.snapshot_version)))
             }
+            Request::Metrics => {
+                let text = self.prometheus_text();
+                let outcome =
+                    Ok(ok_response(vec![("metrics", Json::Str(text))], self.store.version()));
+                (OpKind::Stats, outcome)
+            }
         }
     }
 }
@@ -199,6 +266,28 @@ mod tests {
         let payload = stats.get("stats").unwrap();
         assert_eq!(payload.get("link_score").and_then(Json::as_u64), Some(1));
         assert_eq!(payload.get("topk").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn metrics_op_returns_valid_prometheus_text() {
+        let svc = service();
+        svc.handle_line(r#"{"op":"link_score","u":1,"v":2}"#);
+        svc.handle_line(r#"{"op":"topk","u":0,"k":3}"#);
+        let v = Json::parse(&svc.handle_line(r#"{"op":"metrics"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let text = v.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("# TYPE serve_request_ns histogram"), "missing TYPE line:\n{text}");
+        assert!(text.contains(r#"serve_request_ns_count{op="link_score"} 1"#), "{text}");
+        assert!(text.contains(r#"serve_request_ns_count{op="topk"} 1"#), "{text}");
+        assert!(text.contains("serve_batcher_queue_depth 0"), "{text}");
+        assert!(text.contains(r#"serve_batch_size_count"#), "{text}");
+        // Exposition-format sanity: every non-comment line is `name value`
+        // with a parseable numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Stress tests for [`rwserve::MicroBatcher`] under thread churn: waves
+//! of short-lived client threads (1–64 per wave) hammering one batcher.
+//!
+//! Invariants checked after every wave:
+//!
+//! - **No lost or duplicated requests**: every client gets exactly one
+//!   reply, and the batch-size histogram accounts for every request.
+//! - **Queue-depth gauge returns to zero** once all in-flight requests
+//!   have been answered.
+//! - **Bit-for-bit fidelity**: batched scores equal the unbatched
+//!   [`rwserve::engine::score_pairs`] oracle exactly — coalescing into a
+//!   wider GEMM must not change a single mantissa bit.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use embed::EmbeddingMatrix;
+use nn::{Mlp, OutputHead};
+use rwserve::engine::score_pairs;
+use rwserve::{BatchPolicy, EmbeddingStore, Metrics, MicroBatcher};
+
+const NODES: u32 = 60;
+
+fn store() -> Arc<EmbeddingStore> {
+    let n = NODES as usize;
+    let d = 8;
+    let data: Vec<f32> = (0..n * d).map(|i| ((i % 11) as f32 - 5.0) * 0.13).collect();
+    let emb = EmbeddingMatrix::from_vec(n, d, data);
+    Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 12, 1], OutputHead::Binary, 9)))
+}
+
+fn observed_batcher(
+    store: Arc<EmbeddingStore>,
+    policy: BatchPolicy,
+) -> (Arc<MicroBatcher>, Arc<obs::Registry>) {
+    let registry = Arc::new(obs::Registry::new());
+    let rec = obs::Recorder::with_registry(Arc::clone(&registry));
+    let batcher = MicroBatcher::with_observability(
+        store,
+        Arc::new(Metrics::new()),
+        policy,
+        rec.gauge("serve_batcher_queue_depth"),
+        rec.histogram("serve_batch_size"),
+    );
+    (Arc::new(batcher), registry)
+}
+
+#[test]
+fn waves_of_client_threads_lose_nothing_and_match_the_oracle() {
+    let store = store();
+    let snap = store.load();
+    let (batcher, registry) = observed_batcher(
+        Arc::clone(&store),
+        BatchPolicy { max_batch: 16, max_wait: Duration::from_micros(500) },
+    );
+
+    let mut total_requests = 0u64;
+    // Wave sizes sweep the 1–64 client range, including the degenerate
+    // single-client wave and a few oversubscribed ones.
+    for (wave, &clients) in [1usize, 2, 7, 16, 33, 64, 5, 48, 64, 1].iter().enumerate() {
+        let (tx, rx) = mpsc::channel();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let b = Arc::clone(&batcher);
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    // Distinct pairs per client per wave, all valid nodes.
+                    let u = ((wave * 31 + c * 7) as u32) % NODES;
+                    let v = ((wave * 13 + c * 3 + 1) as u32) % NODES;
+                    let (result, version) = b.score(u, v);
+                    tx.send((c, u, v, result, version)).expect("main receiver alive");
+                })
+            })
+            .collect();
+        drop(tx);
+
+        // Every client replies exactly once; a lost request would hang,
+        // so bound the wait rather than joining blindly.
+        let mut seen = vec![0u32; clients];
+        for _ in 0..clients {
+            let (c, u, v, result, version) =
+                rx.recv_timeout(Duration::from_secs(10)).expect("reply lost under churn");
+            seen[c] += 1;
+            assert_eq!(version, 1, "no publishes happened");
+            let expect = score_pairs(&snap, &[(u, v)])[0]
+                .as_ref()
+                .copied()
+                .expect("all pairs are valid nodes");
+            let got = result.expect("all pairs are valid nodes");
+            assert!(
+                got.to_bits() == expect.to_bits(),
+                "wave {wave} client {c}: batched {got} != oracle {expect} for ({u},{v})"
+            );
+        }
+        assert!(rx.recv().is_err(), "duplicate reply detected");
+        assert!(seen.iter().all(|&n| n == 1), "client replied {seen:?} times");
+        for h in handles {
+            h.join().unwrap();
+        }
+        total_requests += clients as u64;
+
+        // The wave fully drained: nothing is left enqueued, and the
+        // batch-size histogram accounts for every request ever sent.
+        let snap_m = registry.snapshot();
+        assert_eq!(
+            snap_m.gauge("serve_batcher_queue_depth"),
+            Some(0),
+            "queue depth nonzero after wave {wave}"
+        );
+        let sizes = snap_m.histogram("serve_batch_size").expect("recorded");
+        assert_eq!(sizes.sum, total_requests, "lost/duplicated requests after wave {wave}");
+    }
+}
+
+#[test]
+fn score_all_under_churn_matches_oracle_bit_for_bit() {
+    let store = store();
+    let snap = store.load();
+    let (batcher, registry) = observed_batcher(
+        Arc::clone(&store),
+        BatchPolicy { max_batch: 8, max_wait: Duration::from_micros(200) },
+    );
+
+    // Several pipelining clients, each with its own pair list, racing
+    // against single-shot clients.
+    let handles: Vec<_> = (0..6u32)
+        .map(|t| {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || {
+                let pairs: Vec<(u32, u32)> = (0..25u32)
+                    .map(|i| ((t * 17 + i) % NODES, (t * 5 + i * 3 + 1) % NODES))
+                    .collect();
+                let results = b.score_all(&pairs);
+                (pairs, results)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (pairs, results) = h.join().unwrap();
+        assert_eq!(results.len(), pairs.len());
+        for (&pair, (result, _version)) in pairs.iter().zip(&results) {
+            let expect = score_pairs(&snap, &[pair])[0].as_ref().copied().unwrap();
+            let got = result.as_ref().copied().unwrap();
+            assert_eq!(got.to_bits(), expect.to_bits(), "pair {pair:?} diverged from oracle");
+        }
+    }
+    assert_eq!(registry.snapshot().gauge("serve_batcher_queue_depth"), Some(0));
+}

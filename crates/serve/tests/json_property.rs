@@ -1,0 +1,176 @@
+//! Property tests for the hand-rolled JSON layer (`rwserve::json`).
+//!
+//! Two invariants, exercised with a seeded generator so failures
+//! reproduce exactly:
+//!
+//! 1. **Roundtrip**: `parse(v.to_string()) == v` for every tree the
+//!    serializer can emit (finite numbers only — the serializer maps
+//!    non-finite to `null` by design, tested separately).
+//! 2. **Totality**: malformed input — truncations, bad escapes, deep
+//!    nesting, non-JSON number tokens — returns `Err`, never panics and
+//!    never aborts the process (stack exhaustion counts as a crash).
+//!
+//! These properties are independent of the SIMD dispatch mode; CI runs
+//! this suite under `SIMD_FORCE_SCALAR=1` as well to pin that down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rwserve::json::{Json, MAX_DEPTH};
+
+/// Random JSON tree, depth-bounded so size stays manageable.
+fn gen_value(rng: &mut StdRng, depth: usize) -> Json {
+    // Leaves only at the bottom; containers get rarer with depth.
+    let choice = if depth == 0 { rng.gen_range(0..4u32) } else { rng.gen_range(0..6u32) };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..5usize);
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..5usize);
+            Json::Obj((0..n).map(|_| (gen_string(rng), gen_value(rng, depth - 1))).collect())
+        }
+    }
+}
+
+fn gen_number(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..6u32) {
+        // Small integers (the protocol's bread and butter: node ids).
+        0 => f64::from(rng.gen_range(-1_000_000i32..1_000_000)),
+        // Integers at the edge of f64 exactness.
+        1 => (rng.gen::<u64>() % (1u64 << 53)) as f64,
+        // Uniform fractions.
+        2 => rng.gen::<f64>(),
+        // Scaled with negative values.
+        3 => (rng.gen::<f64>() - 0.5) * 1e12,
+        // Tiny magnitudes.
+        4 => rng.gen::<f64>() * 1e-300,
+        // Extreme-but-finite magnitudes.
+        _ => {
+            let extremes = [f64::MAX, f64::MIN, f64::MIN_POSITIVE, -0.0, 0.0, 1e308, -1e308];
+            extremes[rng.gen_range(0..extremes.len())]
+        }
+    }
+}
+
+fn gen_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6u32) {
+            // Printable ASCII.
+            0 | 1 => char::from(rng.gen_range(0x20u8..0x7f)),
+            // The characters the escaper special-cases.
+            2 => ['"', '\\', '/', '\n', '\r', '\t', '\u{08}', '\u{0C}'][rng.gen_range(0..8usize)],
+            // Other control characters (forced \uXXXX escapes).
+            3 => char::from_u32(rng.gen_range(0..0x20u32)).unwrap(),
+            // BMP code points (skipping the surrogate range).
+            4 => char::from_u32(rng.gen_range(0xA0u32..0xD800)).unwrap(),
+            // Astral plane (surrogate pairs when \u-escaped).
+            _ => char::from_u32(rng.gen_range(0x1_0000u32..0x1_F000)).unwrap(),
+        })
+        .collect()
+}
+
+#[test]
+fn serialize_then_parse_is_identity_on_10k_random_values() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for i in 0..10_000 {
+        let v = gen_value(&mut rng, 4);
+        let text = v.to_string();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("iteration {i}: {e} for serialized {text:?}"));
+        assert_eq!(back, v, "iteration {i}: roundtrip changed {text:?}");
+        // And the reparse is a fixpoint: serializing again is stable.
+        assert_eq!(back.to_string(), text, "iteration {i}");
+    }
+}
+
+#[test]
+fn truncations_of_valid_documents_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..300 {
+        let text = gen_value(&mut rng, 3).to_string();
+        for end in (0..text.len()).filter(|&e| text.is_char_boundary(e)) {
+            // Must not panic; truncated docs may still be valid (e.g.
+            // "12" from "123"), so only totality is asserted.
+            let _ = Json::parse(&text[..end]);
+        }
+    }
+}
+
+#[test]
+fn malformed_corpus_errors_cleanly() {
+    let deep = "[".repeat(10_000);
+    let deep_objs = r#"{"a":"#.repeat(10_000);
+    let closed_tower = format!("{}1{}", "[".repeat(MAX_DEPTH + 50), "]".repeat(MAX_DEPTH + 50));
+    let corpus: Vec<&str> = vec![
+        // Number tokens JSON does not have.
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        "nan",
+        "inf",
+        "1e999",
+        "-1e999",
+        "0x10",
+        "+1",
+        "-",
+        "1e",
+        "1e+",
+        ".5",
+        // Bad escapes.
+        r#""\x""#,
+        r#""\u12""#,
+        r#""\u123g""#,
+        r#""\ud800""#,
+        r#""\ud800A""#,
+        r#""\udc00""#,
+        r#""\ud800\ud800""#,
+        r#""\"#,
+        // Structure errors.
+        "",
+        "   ",
+        "{",
+        "}",
+        "[",
+        "]",
+        "{]",
+        "[}",
+        "[1 2]",
+        "{\"a\" 1}",
+        "{\"a\":1,}",
+        "[1,]",
+        "[,1]",
+        "{:1}",
+        "{1:2}",
+        "\"unterminated",
+        "tru",
+        "truex",
+        "nullx",
+        "falsey",
+        "{\"a\":1}{\"b\":2}",
+        "[1]  x",
+        // Deep nesting (stack-exhaustion attack shape).
+        &deep,
+        &deep_objs,
+        &closed_tower,
+    ];
+    for bad in corpus {
+        let head: String = bad.chars().take(40).collect();
+        let err = Json::parse(bad).expect_err(&format!("accepted malformed input {head:?}"));
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn non_finite_numbers_serialize_as_null_and_reparse() {
+    for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let text = Json::Num(n).to_string();
+        assert_eq!(text, "null");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+    }
+}

@@ -40,17 +40,31 @@ impl std::str::FromStr for TransitionSampler {
 
     /// Parses the CLI spelling: `uniform`, `softmax`, `recency` (alias
     /// `softmax-recency`), `linear` (alias `linear-time`).
+    ///
+    /// This is the *single* parsing authority (the CLI and every config
+    /// file path funnel through it): input is trimmed, lowercased, and
+    /// `_` is accepted for `-`, so `" Softmax_Recency "` parses — but any
+    /// spelling outside the list below is rejected with an error that
+    /// enumerates every valid value and alias.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
+        match normalize(s).as_str() {
             "uniform" => Ok(TransitionSampler::Uniform),
             "softmax" => Ok(TransitionSampler::Softmax),
             "recency" | "softmax-recency" => Ok(TransitionSampler::SoftmaxRecency),
             "linear" | "linear-time" => Ok(TransitionSampler::LinearTime),
-            other => Err(format!(
-                "unknown sampler {other:?} (expected uniform, softmax, recency, or linear)"
+            _ => Err(format!(
+                "unknown sampler {s:?}: valid values are uniform, softmax, \
+                 recency (alias softmax-recency), linear (alias linear-time)"
             )),
         }
     }
+}
+
+/// Canonical spelling for enum parsing: trimmed, ASCII-lowercased, `_`
+/// mapped to `-` — one normalization shared by every `FromStr` here so
+/// no spelling variant can slip past one parser and into another.
+fn normalize(s: &str) -> String {
+    s.trim().to_ascii_lowercase().replace('_', "-")
 }
 
 /// Execution strategy for the bulk walk kernels (DESIGN.md §11).
@@ -95,13 +109,17 @@ impl std::str::FromStr for WalkEngine {
     type Err = String;
 
     /// Parses the CLI spelling: `perwalk` (alias `per-walk`), `batched`,
-    /// `auto`.
+    /// `auto`. Normalized like [`TransitionSampler`]'s parser (trim,
+    /// lowercase, `_` → `-`); anything else is rejected with the full
+    /// list of valid values.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
+        match normalize(s).as_str() {
             "perwalk" | "per-walk" => Ok(WalkEngine::PerWalk),
             "batched" => Ok(WalkEngine::Batched),
             "auto" => Ok(WalkEngine::Auto),
-            other => Err(format!("unknown engine {other:?} (expected perwalk, batched, or auto)")),
+            _ => Err(format!(
+                "unknown engine {s:?}: valid values are auto, perwalk (alias per-walk), batched"
+            )),
         }
     }
 }
@@ -268,12 +286,38 @@ mod tests {
     }
 
     #[test]
+    fn sampler_spellings_normalize() {
+        assert_eq!("  Uniform ".parse(), Ok(TransitionSampler::Uniform));
+        assert_eq!("SOFTMAX".parse(), Ok(TransitionSampler::Softmax));
+        assert_eq!("Softmax_Recency".parse(), Ok(TransitionSampler::SoftmaxRecency));
+        assert_eq!("LINEAR_TIME".parse(), Ok(TransitionSampler::LinearTime));
+        // The error names every valid value (and the input as given).
+        let err = "soft max".parse::<TransitionSampler>().unwrap_err();
+        for needle in ["soft max", "uniform", "softmax", "recency", "linear", "valid values"] {
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+        assert!("".parse::<TransitionSampler>().is_err());
+    }
+
+    #[test]
     fn engine_names_round_trip() {
         for e in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Auto] {
             assert_eq!(e.to_string().parse::<WalkEngine>(), Ok(e));
         }
         assert_eq!("per-walk".parse(), Ok(WalkEngine::PerWalk));
         assert!("gpu".parse::<WalkEngine>().is_err());
+    }
+
+    #[test]
+    fn engine_spellings_normalize() {
+        assert_eq!("Per_Walk".parse(), Ok(WalkEngine::PerWalk));
+        assert_eq!(" BATCHED ".parse(), Ok(WalkEngine::Batched));
+        assert_eq!("Auto".parse(), Ok(WalkEngine::Auto));
+        let err = "gpu".parse::<WalkEngine>().unwrap_err();
+        for needle in ["gpu", "auto", "perwalk", "per-walk", "batched", "valid values"] {
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+        assert!("".parse::<WalkEngine>().is_err());
     }
 
     #[test]

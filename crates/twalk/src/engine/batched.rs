@@ -39,6 +39,7 @@
 //! engine's chunked loop, but with per-worker scratch arenas that persist
 //! across blocks.
 
+use obs::{CounterHandle, HistogramHandle};
 use par::{parallel_workers, ParConfig};
 use tgraph::{NodeId, TemporalGraph, Time};
 
@@ -122,12 +123,38 @@ pub(super) fn run(
     lengths_ptr: usize,
 ) {
     let par = par.chunk_size(par.chunk().max(MIN_BLOCK));
+    let stats = RoundStats::from_global();
     parallel_workers(&par, total, |queue| {
         let mut scratch = Scratch::new(g.num_nodes());
         while let Some(block) = queue.next_chunk() {
-            run_block(g, cfg, sampler, starts, block, &mut scratch, nodes_ptr, lengths_ptr);
+            run_block(g, cfg, sampler, starts, block, &mut scratch, nodes_ptr, lengths_ptr, &stats);
         }
     });
+}
+
+/// Handles for the per-round locality metrics, resolved once per bulk
+/// run (all `None` — inlined no-ops — when the global recorder is off).
+/// Frontier sizes go to a histogram one relaxed add per *round*; rounds,
+/// distinct-vertex group counts, and block counts accumulate in worker
+/// locals and flush once per *block*, so the per-hop path records
+/// nothing at all.
+struct RoundStats {
+    frontier: HistogramHandle,
+    rounds: CounterHandle,
+    groups: CounterHandle,
+    blocks: CounterHandle,
+}
+
+impl RoundStats {
+    fn from_global() -> Self {
+        let rec = obs::Recorder::global();
+        Self {
+            frontier: rec.histogram("twalk_frontier_size"),
+            rounds: rec.counter("twalk_rounds_total"),
+            groups: rec.counter("twalk_frontier_groups_total"),
+            blocks: rec.counter("twalk_blocks_total"),
+        }
+    }
 }
 
 /// Advances every walk in `block` from seed to termination, one hop per
@@ -142,6 +169,7 @@ fn run_block(
     s: &mut Scratch,
     nodes_ptr: usize,
     lengths_ptr: usize,
+    stats: &RoundStats,
 ) {
     let nodes = nodes_ptr as *mut NodeId;
     let lengths = lengths_ptr as *mut u32;
@@ -178,11 +206,18 @@ fn run_block(
     // All walks in a block are in lockstep, so "is this the first hop"
     // is a property of the round, not of the walk.
     let mut first_hop = true;
+    let mut rounds_local = 0u64;
+    let mut groups_local = 0u64;
     for _round in 1..nl {
         if s.frontier.is_empty() {
             break;
         }
-        group_frontier(s);
+        let groups = group_frontier(s);
+        if stats.frontier.is_enabled() {
+            stats.frontier.record(s.frontier.len() as u64);
+            rounds_local += 1;
+            groups_local += groups as u64;
+        }
         s.frontier.clear();
         let grouped = &s.grouped;
         for pos in 0..grouped.len() {
@@ -220,6 +255,9 @@ fn run_block(
         // SAFETY: disjoint block, as above.
         unsafe { *lengths.add(start + j) = s.written[j] };
     }
+    stats.rounds.add(rounds_local);
+    stats.groups.add(groups_local);
+    stats.blocks.inc();
 }
 
 /// Counting-sorts `s.frontier` by current vertex into `s.grouped`.
@@ -230,8 +268,11 @@ fn run_block(
 /// discovery order, place slots, then zero the touched counts so the
 /// arena is clean for the next round. Grouping order is irrelevant for
 /// output (per-walk RNG streams); only the *within-walk* hop order
-/// matters, and that is preserved by the round structure.
-fn group_frontier(s: &mut Scratch) {
+/// matters, and that is preserved by the round structure. Returns the
+/// number of distinct vertices the frontier grouped onto — the
+/// "batching efficiency" numerator (frontier / groups = mean walks
+/// sharing one hot segment fetch).
+fn group_frontier(s: &mut Scratch) -> usize {
     for &slot in &s.frontier {
         let v = s.curr[slot as usize] as usize;
         if s.counts[v] == 0 {
@@ -255,7 +296,9 @@ fn group_frontier(s: &mut Scratch) {
     for &v in &s.touched {
         s.counts[v as usize] = 0;
     }
+    let groups = s.touched.len();
     s.touched.clear();
+    groups
 }
 
 #[cfg(test)]
@@ -296,7 +339,8 @@ mod tests {
         let mut s = Scratch::new(5);
         s.curr = vec![3, 1, 3, 0, 1, 3];
         s.frontier = (0..6).collect();
-        group_frontier(&mut s);
+        let groups = group_frontier(&mut s);
+        assert_eq!(groups, 3, "three distinct vertices in the frontier");
         // First-touch order: vertex 3 (slots 0, 2, 5), 1 (slots 1, 4),
         // then 0 (slot 3).
         assert_eq!(s.grouped, vec![0, 2, 5, 1, 4, 3]);

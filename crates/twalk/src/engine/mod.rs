@@ -168,6 +168,13 @@ fn run_bulk(
     let mut nodes = vec![0 as NodeId; total * nl];
     let mut lengths = vec![0u32; total];
     if total > 0 {
+        // Observability is entirely post-hoc here: the kernel is timed
+        // around the dispatch and hop counts are derived from the output
+        // `lengths` (sum of lengths minus one start vertex per walk), so
+        // the hot loops carry zero instrumentation. Disabled cost: one
+        // relaxed bool load per bulk run.
+        let rec = obs::Recorder::global();
+        let t0 = rec.is_enabled().then(std::time::Instant::now);
         let nodes_ptr = nodes.as_mut_ptr() as usize;
         let lengths_ptr = lengths.as_mut_ptr() as usize;
         match resolved_engine(g, cfg, sampler, total) {
@@ -175,6 +182,12 @@ fn run_bulk(
                 batched::run(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr)
             }
             _ => run_per_walk(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr),
+        }
+        if let Some(t0) = t0 {
+            let hops = lengths.iter().map(|&l| u64::from(l)).sum::<u64>() - total as u64;
+            rec.histogram("twalk_run_ns").record_duration(t0.elapsed());
+            rec.counter("twalk_walks_total").add(total as u64);
+            rec.counter("twalk_hops_total").add(hops);
         }
     }
     WalkSet::from_parts(nodes, lengths, nl).with_sampler_stats(sampler.stats())
