@@ -7,7 +7,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use par::ParConfig;
 use std::hint::black_box;
-use twalk::{generate_walks, generate_walks_prepared, TransitionSampler, WalkConfig, WalkEngine};
+use twalk::{
+    generate_walks, generate_walks_prepared, SamplerBuilder, TransitionSampler, WalkConfig,
+    WalkEngine,
+};
 
 fn bench_walks_per_node(c: &mut Criterion) {
     let g = tgraph::gen::preferential_attachment(10_000, 3, 1).undirected(true).build();
@@ -78,24 +81,36 @@ fn bench_graph_size(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    // Engine comparison in the batched engine's target regime (DESIGN.md
-    // §11): a degree-skewed preferential-attachment graph large enough
-    // that per-walk pointer chasing misses cache, m = 16 undirected
-    // (mean degree ~32), the compute-heavy softmax sampler, 4 threads.
-    // Sampler preparation is hoisted out so the timed region is the walk
-    // kernel alone; `Auto` should land on `batched` here.
-    let g = tgraph::gen::preferential_attachment(150_000, 16, 9).undirected(true).build();
+    // Engine comparison in the interleaved engine's target regime
+    // (DESIGN.md §13.5): a *sparse* degree-skewed preferential-attachment
+    // graph, 150k nodes, m = 3 undirected (mean degree ~8) — large enough
+    // that per-walk pointer chasing misses cache, sparse enough that
+    // batched grouping finds almost no reuse per fetch — with the
+    // compute-heavy softmax sampler, 4 threads. Sampler preparation is
+    // hoisted out so the timed region is the walk kernel alone; `Auto`
+    // should land on `interleaved` here (working set past the threshold,
+    // mean degree under the crossover). The extra `interleaved+alias` row
+    // pairs the interleaved engine with the Auto method policy (hub alias
+    // tables) — the headline adaptive configuration.
+    let g = tgraph::gen::preferential_attachment(150_000, 3, 9).undirected(true).build();
     let base = WalkConfig::new(10, 6).sampler(TransitionSampler::Softmax).seed(9);
     let sampler = base.sampler.prepare(&g);
     let par = ParConfig::with_threads(4).chunk_size(64);
     let mut group = c.benchmark_group("rwalk/engine");
     group.sample_size(10);
-    for engine in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Auto] {
+    for engine in
+        [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Interleaved, WalkEngine::Auto]
+    {
         group.bench_function(BenchmarkId::from_parameter(engine), |b| {
             let cfg = base.engine(engine);
             b.iter(|| black_box(generate_walks_prepared(&g, &cfg, &sampler, &par)));
         });
     }
+    let adaptive = SamplerBuilder::new(base.sampler).build(&g);
+    group.bench_function("interleaved+alias", |b| {
+        let cfg = base.engine(WalkEngine::Interleaved);
+        b.iter(|| black_box(generate_walks_prepared(&g, &cfg, &adaptive, &par)));
+    });
     group.finish();
 }
 

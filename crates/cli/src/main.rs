@@ -5,11 +5,13 @@
 //! rwalk linkpred  [--dataset NAME | --wel FILE] [--scale S] [--walks K]
 //!                 [--len N] [--dim D] [--threads T] [--gpu] [--seed X]
 //!                 [--sampler uniform|softmax|recency|linear] [--static]
-//!                 [--engine auto|perwalk|batched]
+//!                 [--engine auto|perwalk|batched|interleaved]
+//!                 [--sampler-method auto|cdf|alias|rejection]
 //! rwalk nodeclass [--dataset NAME] [--scale S] [--walks K] [--len N]
 //!                 [--dim D] [--threads T] [--gpu] [--seed X]
 //!                 [--sampler uniform|softmax|recency|linear] [--static]
-//!                 [--engine auto|perwalk|batched]
+//!                 [--engine auto|perwalk|batched|interleaved]
+//!                 [--sampler-method auto|cdf|alias|rejection]
 //! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
 //! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
 //! rwalk serve     [--dataset NAME | --wel FILE] [--scale S] [--port P]
@@ -19,10 +21,13 @@
 //!
 //! `--sampler` selects the walk transition bias (default `softmax`, the
 //! paper's Eq. 1); `--static` ignores timestamps entirely — the static
-//! DeepWalk baseline. `--engine` selects the walk execution strategy
-//! (default `auto`; walks are bit-identical across engines, so this is a
-//! pure performance knob). `--scale`, `--walks`, `--len`, and `--dim`
-//! must be positive.
+//! DeepWalk baseline. `--engine` selects the walk execution strategy and
+//! `--sampler-method` the per-vertex transition-sampling method (defaults
+//! `auto`; walks are bit-identical across engines and methods draw from
+//! the same distribution, so both are pure performance knobs). Forcing a
+//! table method (`alias`, `rejection`) on a closed-form bias (`uniform`,
+//! `linear`) is rejected at parse time. `--scale`, `--walks`, `--len`,
+//! and `--dim` must be positive.
 //!
 //! Every command additionally accepts `--metrics-out <path>`: it enables
 //! the process-global metrics recorder and, after the command succeeds,
@@ -38,7 +43,7 @@
 use std::process::ExitCode;
 
 use rwalk_core::{Backend, EmbeddingStrategy, Hyperparams, Pipeline};
-use twalk::{TransitionSampler, WalkEngine};
+use twalk::{SamplingMethod, TransitionSampler, WalkEngine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +104,7 @@ struct Options {
     seed: u64,
     gpu: bool,
     sampler: TransitionSampler,
+    sampler_method: SamplingMethod,
     engine: WalkEngine,
     static_walks: bool,
     port: u16,
@@ -122,6 +128,7 @@ impl Options {
             seed: 42,
             gpu: false,
             sampler: TransitionSampler::Softmax,
+            sampler_method: SamplingMethod::Auto,
             engine: WalkEngine::Auto,
             static_walks: false,
             port: 7878,
@@ -154,6 +161,11 @@ impl Options {
                 "--gpu" => o.gpu = true,
                 "--sampler" => {
                     o.sampler = val("--sampler")?.parse().map_err(|e| format!("--sampler: {e}"))?
+                }
+                "--sampler-method" => {
+                    o.sampler_method = val("--sampler-method")?
+                        .parse()
+                        .map_err(|e| format!("--sampler-method: {e}"))?
                 }
                 "--engine" => {
                     o.engine = val("--engine")?.parse().map_err(|e| format!("--engine: {e}"))?
@@ -198,6 +210,14 @@ impl Options {
         if o.refresh_ms == 0 {
             return Err("--refresh-ms must be at least 1".into());
         }
+        // Cross-flag rules (e.g. `--sampler-method alias` needs a weighted
+        // `--sampler`) live in WalkOptions::validate, the single authority
+        // also used by library callers.
+        twalk::WalkOptions::new(o.walks, o.len)
+            .sampler(o.sampler)
+            .sampler_method(o.sampler_method)
+            .engine(o.engine)
+            .validate()?;
         Ok(o)
     }
 
@@ -214,6 +234,7 @@ impl Options {
             .with_threads(self.threads)
             .with_seed(self.seed)
             .with_sampler(self.sampler)
+            .with_sampler_method(self.sampler_method)
             .with_engine(self.engine)
             .with_strategy(strategy)
     }

@@ -27,6 +27,12 @@ fn rejected_flag_combinations_fail_with_explanations() {
         (&["linkpred", "--engine", "batch"], "valid values"),
         (&["linkpred", "--engine", "batch"], "auto, perwalk"),
         (&["linkpred", "--engine", "gpu"], "unknown engine"),
+        (&["linkpred", "--sampler-method", "vose"], "unknown sampling method"),
+        (&["linkpred", "--sampler-method", "vose"], "auto, cdf, alias, rejection"),
+        // Forcing a table method on a closed-form bias is a cross-flag
+        // error caught at parse time, whichever order the flags come in.
+        (&["linkpred", "--sampler", "uniform", "--sampler-method", "alias"], "closed form"),
+        (&["linkpred", "--sampler-method", "rejection", "--sampler", "linear"], "closed form"),
         // Degenerate numeric values are rejected with the flag named.
         (&["linkpred", "--scale", "0"], "--scale"),
         (&["linkpred", "--scale", "-1"], "--scale"),
@@ -68,6 +74,9 @@ fn accepted_spellings_are_case_and_separator_insensitive() {
         ["datasets", "--sampler", "linear_time"],
         ["datasets", "--engine", "Per_Walk"],
         ["datasets", "--engine", "BATCHED"],
+        ["datasets", "--engine", "Interleaved"],
+        ["datasets", "--sampler-method", "ALIAS"],
+        ["datasets", "--sampler-method", " Rejection "],
     ] {
         let out = rwalk(&args);
         assert!(out.status.success(), "rwalk {args:?} failed: {}", stderr(&out));

@@ -1,6 +1,6 @@
 //! Pipeline hyperparameters.
 
-use twalk::{TransitionSampler, WalkEngine};
+use twalk::{SamplingMethod, TransitionSampler, WalkEngine, WalkOptions};
 
 /// How node embeddings are produced (phases 1–2).
 ///
@@ -53,8 +53,13 @@ pub struct Hyperparams {
     pub dim: usize,
     /// Walk transition probability model.
     pub sampler: TransitionSampler,
-    /// Walk execution strategy (per-walk vs step-synchronous batched; a
-    /// pure performance knob, walks are engine-independent).
+    /// Per-vertex sampling method policy for the weighted samplers
+    /// (a pure performance knob; every method draws from the same
+    /// analytic distribution).
+    pub sampler_method: SamplingMethod,
+    /// Walk execution strategy (per-walk, step-synchronous batched, or
+    /// step-interleaved; a pure performance knob, walks are
+    /// engine-independent).
     pub engine: WalkEngine,
     /// word2vec skip-gram window.
     pub window: usize,
@@ -100,6 +105,7 @@ impl Hyperparams {
             walk_length: 6,
             dim: 8,
             sampler: TransitionSampler::Softmax,
+            sampler_method: SamplingMethod::Auto,
             engine: WalkEngine::Auto,
             window: 5,
             negatives: 5,
@@ -178,6 +184,15 @@ impl Hyperparams {
         self
     }
 
+    /// Sets the per-vertex sampling method policy; flows into
+    /// [`Self::walk_options`] and from there through `Pipeline` and
+    /// `IncrementalEmbedder`.
+    #[must_use]
+    pub fn with_sampler_method(mut self, method: SamplingMethod) -> Self {
+        self.sampler_method = method;
+        self
+    }
+
     /// Sets the embedding strategy (paper method vs baselines).
     #[must_use]
     pub fn with_strategy(mut self, strategy: EmbeddingStrategy) -> Self {
@@ -210,12 +225,20 @@ impl Hyperparams {
         .chunk_size(64)
     }
 
-    /// The walk configuration this setting implies.
-    pub fn walk_config(&self) -> twalk::WalkConfig {
-        twalk::WalkConfig::new(self.walks_per_node, self.walk_length)
+    /// The full walk-options bundle this setting implies; the single
+    /// source for both the kernel configuration and the sampler builder.
+    pub fn walk_options(&self) -> WalkOptions {
+        WalkOptions::new(self.walks_per_node, self.walk_length)
             .sampler(self.sampler)
+            .sampler_method(self.sampler_method)
             .seed(self.seed)
             .engine(self.engine)
+    }
+
+    /// The walk configuration this setting implies (the kernel-facing
+    /// projection of [`Self::walk_options`]).
+    pub fn walk_config(&self) -> twalk::WalkConfig {
+        self.walk_options().config()
     }
 
     /// The word2vec configuration this setting implies.
@@ -274,6 +297,20 @@ mod tests {
         assert_eq!(hp.walk_config().engine, WalkEngine::Auto);
         let hp = hp.with_engine(WalkEngine::Batched);
         assert_eq!(hp.walk_config().engine, WalkEngine::Batched);
+        let hp = hp.with_engine(WalkEngine::Interleaved);
+        assert_eq!(hp.walk_config().engine, WalkEngine::Interleaved);
+    }
+
+    #[test]
+    fn sampler_method_flows_into_walk_options() {
+        let hp = Hyperparams::paper_optimal();
+        assert_eq!(hp.walk_options().sampler_method, SamplingMethod::Auto);
+        let hp = hp.with_sampler_method(SamplingMethod::Alias);
+        let opts = hp.walk_options();
+        assert_eq!(opts.sampler_method, SamplingMethod::Alias);
+        assert_eq!(opts.sampler, hp.sampler);
+        assert_eq!(opts.seed, hp.seed);
+        assert!(opts.validate().is_ok());
     }
 
     #[test]

@@ -35,6 +35,17 @@ use twalk::{generate_walks_from_prepared, generate_walks_prepared};
 
 use crate::Hyperparams;
 
+/// Sampling methods used by the last refresh, per vertex class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshSamplerStats {
+    /// Vertices sampled from inverse-CDF tables.
+    pub cdf_vertices: usize,
+    /// Vertices sampled from alias tables.
+    pub alias_vertices: usize,
+    /// Vertices (the churned set) sampled by bounded rejection.
+    pub rejection_vertices: usize,
+}
+
 /// Maintains node embeddings over a stream of edge insertions.
 #[derive(Debug)]
 pub struct IncrementalEmbedder {
@@ -42,6 +53,7 @@ pub struct IncrementalEmbedder {
     graph: DynamicGraph,
     emb: Option<EmbeddingMatrix>,
     refreshes: usize,
+    last_sampler: RefreshSamplerStats,
 }
 
 impl IncrementalEmbedder {
@@ -49,7 +61,13 @@ impl IncrementalEmbedder {
     /// considered dirty, so the first [`refresh`](Self::refresh) is a full
     /// build).
     pub fn new(hp: Hyperparams, base: &TemporalGraph) -> Self {
-        Self { hp, graph: DynamicGraph::from_graph(base), emb: None, refreshes: 0 }
+        Self {
+            hp,
+            graph: DynamicGraph::from_graph(base),
+            emb: None,
+            refreshes: 0,
+            last_sampler: RefreshSamplerStats::default(),
+        }
     }
 
     /// Appends a batch of temporal edges.
@@ -65,6 +83,13 @@ impl IncrementalEmbedder {
     /// Number of refreshes performed so far.
     pub fn refreshes(&self) -> usize {
         self.refreshes
+    }
+
+    /// Per-method vertex counts of the sampler built by the last refresh
+    /// that generated walks (all zeros before the first refresh and after
+    /// no-op refreshes).
+    pub fn last_sampler_stats(&self) -> RefreshSamplerStats {
+        self.last_sampler
     }
 
     /// Current CSR snapshot of the evolving graph.
@@ -89,11 +114,13 @@ impl IncrementalEmbedder {
         let csr = self.graph.to_csr();
         let par = self.hp.par_config();
         let seed_bump = self.refreshes as u64;
-        let walk_cfg = self.hp.walk_config().seed(self.hp.seed.wrapping_add(seed_bump));
+        let opts = self.hp.walk_options().seed(self.hp.seed.wrapping_add(seed_bump));
+        let walk_cfg = opts.config();
 
         match self.emb.take() {
             None => {
-                let sampler = walk_cfg.sampler.prepare(&csr);
+                let sampler = opts.prepare(&csr);
+                self.last_sampler = method_counts(&sampler);
                 let walks = generate_walks_prepared(&csr, &walk_cfg, &sampler, &par);
                 self.graph.take_dirty();
                 self.emb = Some(embed::train(&walks, csr.num_nodes(), &self.hp.w2v_config(), &par));
@@ -105,10 +132,15 @@ impl IncrementalEmbedder {
                     self.refreshes += 1;
                     return self.emb.as_ref().expect("just set");
                 }
-                // The CSR changes between refreshes, so the CDF tables must
-                // be rebuilt — but one build now covers every dirty vertex's
-                // walks instead of paying direct evaluation per step.
-                let sampler = walk_cfg.sampler.prepare(&csr);
+                // The CSR changes between refreshes, so the sampler must be
+                // rebuilt — but one build now covers every dirty vertex's
+                // walks instead of paying direct evaluation per step. The
+                // dirty vertices themselves are churning under ingest, so
+                // the builder routes them to table-free bounded rejection
+                // instead of rebuilding tables that the next batch would
+                // invalidate again.
+                let sampler = opts.sampler_builder().churned(dirty.iter().copied()).build(&csr);
+                self.last_sampler = method_counts(&sampler);
                 let walks = generate_walks_from_prepared(&csr, &walk_cfg, &sampler, &dirty, &par);
                 if walks.num_walks() == 0 {
                     // The vertex space grew but no dirty vertex produced a
@@ -132,6 +164,15 @@ impl IncrementalEmbedder {
         }
         self.refreshes += 1;
         self.emb.as_ref().expect("embedding just computed")
+    }
+}
+
+fn method_counts(sampler: &twalk::PreparedSampler) -> RefreshSamplerStats {
+    let s = sampler.stats();
+    RefreshSamplerStats {
+        cdf_vertices: s.cdf_vertices,
+        alias_vertices: s.alias_vertices,
+        rejection_vertices: s.rejection_vertices,
     }
 }
 
@@ -223,6 +264,21 @@ mod tests {
         assert_eq!(emb.num_nodes(), n + 2);
         assert!(emb.get(n as u32).iter().any(|&x| x != 0.0));
         assert!(emb.get(n as u32 + 1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn dirty_vertices_are_resampled_by_rejection() {
+        let g = base_graph();
+        let mut inc = IncrementalEmbedder::new(Hyperparams::paper_optimal().quick_test(), &g);
+        inc.refresh();
+        // The full build has no churned set.
+        assert_eq!(inc.last_sampler_stats().rejection_vertices, 0);
+        inc.ingest([TemporalEdge::new(0, 1, 2.0), TemporalEdge::new(1, 2, 2.1)]);
+        inc.refresh();
+        let stats = inc.last_sampler_stats();
+        // Vertices 0, 1, 2 churned; all have out-edges in this graph.
+        assert_eq!(stats.rejection_vertices, 3, "{stats:?}");
+        assert!(stats.cdf_vertices > 0, "{stats:?}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use perfmodel::profile::{
 };
 use perfmodel::GpuModel;
 use tgraph::TemporalGraph;
-use twalk::{generate_walks_prepared, WalkSet};
+use twalk::WalkSet;
 
 use crate::{Hyperparams, PhaseTimes, PipelineError, TaskKind, TaskMetrics, TaskReport};
 
@@ -87,15 +87,9 @@ impl Pipeline {
     pub fn walks(&self, g: &TemporalGraph) -> WalkSet {
         let par = self.hp.par_config();
         match self.hp.strategy {
-            crate::EmbeddingStrategy::TemporalWalks => {
-                let cfg = self.hp.walk_config();
-                let sampler = cfg.sampler.prepare(g);
-                generate_walks_prepared(g, &cfg, &sampler, &par)
-            }
+            crate::EmbeddingStrategy::TemporalWalks => self.hp.walk_options().generate(g, &par),
             crate::EmbeddingStrategy::StaticDeepWalk => {
-                let cfg = self.hp.walk_config().respect_time(false);
-                let sampler = cfg.sampler.prepare(g);
-                generate_walks_prepared(g, &cfg, &sampler, &par)
+                self.hp.walk_options().respect_time(false).generate(g, &par)
             }
             crate::EmbeddingStrategy::SnapshotDeepWalk { snapshots } => {
                 let snapshots = snapshots.max(1);
@@ -105,15 +99,15 @@ impl Pipeline {
                 for s in 1..=snapshots {
                     let t = lo + (hi - lo) * s as f64 / snapshots as f64;
                     let snap = g.snapshot_until(t);
-                    let cfg = twalk::WalkConfig::new(k, self.hp.walk_length)
-                        .sampler(self.hp.sampler)
+                    // Each snapshot is its own graph, so `generate` builds
+                    // each one its own prepared sampler.
+                    let walks = self
+                        .hp
+                        .walk_options()
+                        .walks_per_node(k)
                         .seed(self.hp.seed.wrapping_add(s as u64))
                         .respect_time(false)
-                        .engine(self.hp.engine);
-                    // Each snapshot is its own graph, so each needs its own
-                    // prepared sampler.
-                    let sampler = cfg.sampler.prepare(&snap);
-                    let walks = generate_walks_prepared(&snap, &cfg, &sampler, &par);
+                        .generate(&snap, &par);
                     all.extend(walks.iter().map(<[tgraph::NodeId]>::to_vec));
                 }
                 WalkSet::from_walks(&all, self.hp.walk_length)

@@ -106,10 +106,19 @@ impl TemporalGraph {
         if a == b {
             return;
         }
+        // Probe indices deduplicated at cache-line granularity (8 × f64
+        // per line): low-degree segments span a single line, and issuing
+        // one hint instead of three matters in the sparse regime where
+        // the interleaved engine lives.
+        let (mid, last) = ((a + b) / 2, b - 1);
         let times = self.times.as_ptr();
         crate::prefetch::prefetch_read(times.wrapping_add(a));
-        crate::prefetch::prefetch_read(times.wrapping_add((a + b) / 2));
-        crate::prefetch::prefetch_read(times.wrapping_add(b - 1));
+        if mid >> 3 != a >> 3 {
+            crate::prefetch::prefetch_read(times.wrapping_add(mid));
+        }
+        if last >> 3 != mid >> 3 {
+            crate::prefetch::prefetch_read(times.wrapping_add(last));
+        }
         crate::prefetch::prefetch_read(self.dsts.as_ptr().wrapping_add(a));
     }
 

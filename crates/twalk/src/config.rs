@@ -61,9 +61,10 @@ impl std::str::FromStr for TransitionSampler {
 }
 
 /// Canonical spelling for enum parsing: trimmed, ASCII-lowercased, `_`
-/// mapped to `-` — one normalization shared by every `FromStr` here so
-/// no spelling variant can slip past one parser and into another.
-fn normalize(s: &str) -> String {
+/// mapped to `-` — one normalization shared by every `FromStr` in this
+/// crate (including [`crate::sampler::SamplingMethod`]) so no spelling
+/// variant can slip past one parser and into another.
+pub(crate) fn normalize(s: &str) -> String {
     s.trim().to_ascii_lowercase().replace('_', "-")
 }
 
@@ -87,10 +88,20 @@ pub enum WalkEngine {
     /// large, degree-skewed graphs where per-walk pointer chasing is
     /// memory-latency-bound.
     Batched,
+    /// Step-interleaved execution (`twalk::engine::interleaved`,
+    /// ThunderRW-style): each worker keeps a ring of
+    /// [`WalkConfig::ring`] in-flight walks and advances them through
+    /// explicit fetch → sample stages, issuing a prefetch and switching
+    /// to another walk instead of stalling on the cache miss. Best when
+    /// the working set is so much larger than cache that even the
+    /// batched engine's grouped segments keep missing.
+    Interleaved,
     /// Choose per run from the graph's shape: when the estimated frontier
     /// working set (mean degree × frontier size × per-edge bytes) exceeds
-    /// [`WalkConfig::auto_llc_bytes`], pick [`WalkEngine::Batched`],
-    /// otherwise [`WalkEngine::PerWalk`].
+    /// [`WalkConfig::auto_llc_bytes`], pick [`WalkEngine::Batched`] — or
+    /// [`WalkEngine::Interleaved`] past twice the threshold, where
+    /// grouping alone no longer keeps segments resident — otherwise
+    /// [`WalkEngine::PerWalk`].
     #[default]
     Auto,
 }
@@ -100,6 +111,7 @@ impl std::fmt::Display for WalkEngine {
         f.write_str(match self {
             WalkEngine::PerWalk => "perwalk",
             WalkEngine::Batched => "batched",
+            WalkEngine::Interleaved => "interleaved",
             WalkEngine::Auto => "auto",
         })
     }
@@ -109,26 +121,37 @@ impl std::str::FromStr for WalkEngine {
     type Err = String;
 
     /// Parses the CLI spelling: `perwalk` (alias `per-walk`), `batched`,
-    /// `auto`. Normalized like [`TransitionSampler`]'s parser (trim,
-    /// lowercase, `_` → `-`); anything else is rejected with the full
-    /// list of valid values.
+    /// `interleaved`, `auto`. Normalized like [`TransitionSampler`]'s
+    /// parser (trim, lowercase, `_` → `-`); anything else is rejected
+    /// with the full list of valid values.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match normalize(s).as_str() {
             "perwalk" | "per-walk" => Ok(WalkEngine::PerWalk),
             "batched" => Ok(WalkEngine::Batched),
+            "interleaved" => Ok(WalkEngine::Interleaved),
             "auto" => Ok(WalkEngine::Auto),
             _ => Err(format!(
-                "unknown engine {s:?}: valid values are auto, perwalk (alias per-walk), batched"
+                "unknown engine {s:?}: valid values are auto, perwalk (alias per-walk), \
+                 batched, interleaved"
             )),
         }
     }
 }
 
-/// Default [`WalkConfig::auto_llc_bytes`]: a conservative stand-in for
-/// the last-level-cache size of current server parts (32 MiB). Runs whose
-/// estimated frontier working set stays under this keep the cheaper
-/// per-walk engine.
-pub const DEFAULT_AUTO_LLC_BYTES: usize = 32 << 20;
+/// Default [`WalkConfig::auto_llc_bytes`]: a conservative floor for the
+/// cache capacity the per-walk engine can rely on (8 MiB, a small
+/// consumer LLC). Runs whose estimated frontier working set stays under
+/// this keep the cheaper per-walk engine; measurements (DESIGN.md §13.5)
+/// show per-walk falling behind the bulk engines well before the
+/// frontier reaches big-server LLC sizes, so the default errs low.
+pub const DEFAULT_AUTO_LLC_BYTES: usize = 8 << 20;
+
+/// Default [`WalkConfig::ring`]: in-flight walks per worker for the
+/// interleaved engine. Empirically the sweet spot on the sparse-regime
+/// benchmark (DESIGN.md §13.5): enough independent queries to keep
+/// several misses in flight, small enough that a sweep revisits a slot
+/// while its prefetched lines are still resident.
+pub const DEFAULT_WALK_RING: usize = 8;
 
 /// Configuration of the temporal random walk kernel.
 ///
@@ -171,10 +194,15 @@ pub struct WalkConfig {
     /// output is engine-independent. Defaults to [`WalkEngine::Auto`].
     pub engine: WalkEngine,
     /// Threshold for [`WalkEngine::Auto`]: estimated frontier working-set
-    /// bytes above which the batched engine is selected. Defaults to
+    /// bytes above which a bulk engine is selected (interleaved on sparse
+    /// graphs, batched on dense ones — see
+    /// [`crate::engine::resolved_engine`]). Defaults to
     /// [`DEFAULT_AUTO_LLC_BYTES`]; override it to match the actual
     /// last-level cache of the deployment machine.
     pub auto_llc_bytes: usize,
+    /// In-flight walks per worker for [`WalkEngine::Interleaved`];
+    /// ignored by the other engines. Defaults to [`DEFAULT_WALK_RING`].
+    pub ring: usize,
 }
 
 impl WalkConfig {
@@ -196,6 +224,7 @@ impl WalkConfig {
             respect_time: true,
             engine: WalkEngine::default(),
             auto_llc_bytes: DEFAULT_AUTO_LLC_BYTES,
+            ring: DEFAULT_WALK_RING,
         }
     }
 
@@ -244,6 +273,18 @@ impl WalkConfig {
     #[must_use]
     pub fn auto_llc_bytes(mut self, bytes: usize) -> Self {
         self.auto_llc_bytes = bytes;
+        self
+    }
+
+    /// Sets the interleaved engine's in-flight walks per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring == 0` — an empty ring can make no progress.
+    #[must_use]
+    pub fn ring(mut self, ring: usize) -> Self {
+        assert!(ring >= 1, "the walk ring needs at least one slot");
+        self.ring = ring;
         self
     }
 }
@@ -301,7 +342,9 @@ mod tests {
 
     #[test]
     fn engine_names_round_trip() {
-        for e in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Auto] {
+        for e in
+            [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Interleaved, WalkEngine::Auto]
+        {
             assert_eq!(e.to_string().parse::<WalkEngine>(), Ok(e));
         }
         assert_eq!("per-walk".parse(), Ok(WalkEngine::PerWalk));
@@ -312,9 +355,12 @@ mod tests {
     fn engine_spellings_normalize() {
         assert_eq!("Per_Walk".parse(), Ok(WalkEngine::PerWalk));
         assert_eq!(" BATCHED ".parse(), Ok(WalkEngine::Batched));
+        assert_eq!("Interleaved".parse(), Ok(WalkEngine::Interleaved));
         assert_eq!("Auto".parse(), Ok(WalkEngine::Auto));
         let err = "gpu".parse::<WalkEngine>().unwrap_err();
-        for needle in ["gpu", "auto", "perwalk", "per-walk", "batched", "valid values"] {
+        for needle in
+            ["gpu", "auto", "perwalk", "per-walk", "batched", "interleaved", "valid values"]
+        {
             assert!(err.contains(needle), "{err:?} missing {needle:?}");
         }
         assert!("".parse::<WalkEngine>().is_err());
@@ -325,8 +371,16 @@ mod tests {
         let cfg = WalkConfig::new(1, 2);
         assert_eq!(cfg.engine, WalkEngine::Auto);
         assert_eq!(cfg.auto_llc_bytes, DEFAULT_AUTO_LLC_BYTES);
-        let cfg = cfg.engine(WalkEngine::Batched).auto_llc_bytes(1);
+        assert_eq!(cfg.ring, DEFAULT_WALK_RING);
+        let cfg = cfg.engine(WalkEngine::Batched).auto_llc_bytes(1).ring(4);
         assert_eq!(cfg.engine, WalkEngine::Batched);
         assert_eq!(cfg.auto_llc_bytes, 1);
+        assert_eq!(cfg.ring, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_ring_rejected() {
+        let _ = WalkConfig::new(1, 2).ring(0);
     }
 }

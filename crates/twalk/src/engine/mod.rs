@@ -10,12 +10,16 @@
 //! sampling path as the executable reference the prepared kernel is
 //! verified against.
 //!
-//! Two execution strategies run the same kernel ([`crate::WalkEngine`]):
-//! the classic per-walk loop nest below, and the step-synchronous
-//! [`batched`] engine that trades bookkeeping for memory-level
-//! parallelism on large graphs. Both produce bit-identical output because
-//! every `(walk, vertex)` pair draws from its own RNG stream; the engine
-//! is resolved per run by [`resolved_engine`].
+//! Three execution strategies run the same kernel ([`crate::WalkEngine`]):
+//! the classic per-walk loop nest below, the step-synchronous [`batched`]
+//! engine that trades bookkeeping for memory-level parallelism on large
+//! graphs, and the step-[`interleaved`] engine that keeps a ring of
+//! in-flight walks per worker to overlap cache misses outright. All
+//! produce bit-identical output because every `(walk, vertex)` pair draws
+//! from its own RNG stream; the engine is resolved per run by
+//! [`resolved_engine`] from the estimated working set
+//! ([`estimated_working_set`]) and the graph's mean degree — the proxy
+//! for how much reuse locality grouping can find.
 
 use par::{parallel_chunks_shared, ParConfig};
 use tgraph::{NodeId, TemporalGraph, Time};
@@ -24,6 +28,7 @@ use crate::sampler::{direct_linear, direct_softmax, PreparedSampler};
 use crate::{TransitionSampler, WalkConfig, WalkEngine, WalkRng, WalkSet};
 
 pub mod batched;
+pub mod interleaved;
 
 /// How bulk-run walk slot indices map to `(walk number, start vertex)`
 /// pairs: slot `w * stride + i` is walk `w` from the `i`-th start.
@@ -67,34 +72,59 @@ pub fn resolved_engine(
 ) -> WalkEngine {
     match cfg.engine {
         WalkEngine::Auto => {
-            if auto_picks_batched(g, cfg, sampler, total_walks) {
-                WalkEngine::Batched
+            // Tiny runs (under one batch block) always stay per-walk:
+            // they cannot amortize grouping or ring bookkeeping.
+            if g.num_nodes() == 0 || total_walks < batched::MIN_BLOCK {
+                return WalkEngine::PerWalk;
+            }
+            let ws = estimated_working_set(g, sampler, total_walks);
+            if ws <= cfg.auto_llc_bytes as f64 {
+                return WalkEngine::PerWalk;
+            }
+            // Past the cache threshold the two bulk engines split by how
+            // much reuse grouping can find: each grouped fetch serves
+            // `mean_degree`-sized segments to every co-located walk, so
+            // dense skewed graphs amortize the counting sort many times
+            // over, while on sparse graphs a fetch serves ~1 walk and ~1
+            // cache line and the sort is pure overhead — there the ring's
+            // miss overlap wins (measured crossover: DESIGN.md §13.5).
+            let mean_degree = g.num_edges() as f64 / g.num_nodes() as f64;
+            if mean_degree <= INTERLEAVE_MAX_MEAN_DEGREE {
+                WalkEngine::Interleaved
             } else {
-                WalkEngine::PerWalk
+                WalkEngine::Batched
             }
         }
         explicit => explicit,
     }
 }
 
-/// The Auto heuristic (DESIGN.md §11): batched execution pays off once a
-/// round's frontier no longer fits in the last-level cache, because only
-/// then does per-walk pointer chasing actually miss. The frontier working
-/// set is estimated as one neighbor segment per distinct active vertex —
-/// mean degree × per-edge bytes (timestamps + destinations + CDF entry
-/// when the sampler carries tables) plus the CSR offsets entry — times
-/// the number of distinct start vertices a block can hold. Tiny runs
-/// (under one batch block) always stay per-walk: they cannot amortize the
-/// grouping bookkeeping.
-fn auto_picks_batched(
+/// Mean-degree boundary between [`WalkEngine::Auto`]'s two bulk bands:
+/// at or below it the step-interleaved ring wins (sparse graphs, little
+/// grouping reuse), above it the batched engine's locality grouping wins
+/// (dense skewed graphs, one hub fetch serves many walks). The measured
+/// crossover on the `rwalk/engine` workload family sits near mean degree
+/// ~32, where the two engines tie within noise (DESIGN.md §13.5).
+pub const INTERLEAVE_MAX_MEAN_DEGREE: f64 = 32.0;
+
+/// The Auto heuristic's working-set estimate (DESIGN.md §11/§13): one
+/// neighbor segment per distinct active vertex — mean degree × per-edge
+/// bytes (timestamps + destinations + table entry when the sampler
+/// carries tables) plus the CSR offsets entry — times the number of
+/// distinct start vertices a block can hold. Under
+/// [`WalkConfig::auto_llc_bytes`] the per-walk loop nest barely misses
+/// and wins on simplicity; past it one of the bulk engines takes over,
+/// split by mean degree (see [`resolved_engine`] and
+/// [`INTERLEAVE_MAX_MEAN_DEGREE`]). Exposed so tests and tools can probe
+/// the bands without rerunning the kernel.
+pub fn estimated_working_set(
     g: &TemporalGraph,
-    cfg: &WalkConfig,
     sampler: &PreparedSampler,
     total_walks: usize,
-) -> bool {
+) -> f64 {
     let n = g.num_nodes();
-    if n == 0 || total_walks < batched::MIN_BLOCK {
-        return false;
+    if n == 0 {
+        return 0.0;
     }
     let mean_degree = g.num_edges() as f64 / n as f64;
     let frontier = total_walks.min(n) as f64;
@@ -103,7 +133,7 @@ fn auto_picks_batched(
         + if sampler.stats().table_bytes > 0 { std::mem::size_of::<f64>() } else { 0 })
         as f64;
     let per_vertex = mean_degree * per_edge + std::mem::size_of::<usize>() as f64;
-    frontier * per_vertex > cfg.auto_llc_bytes as f64
+    frontier * per_vertex
 }
 
 /// Generates `K` temporal walks from every vertex, parallelizing the
@@ -180,6 +210,9 @@ fn run_bulk(
         match resolved_engine(g, cfg, sampler, total) {
             WalkEngine::Batched => {
                 batched::run(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr)
+            }
+            WalkEngine::Interleaved => {
+                interleaved::run(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr)
             }
             _ => run_per_walk(g, cfg, sampler, par, starts, total, nodes_ptr, lengths_ptr),
         }

@@ -20,26 +20,35 @@
 //!   preferred;
 //! * [`TransitionSampler::LinearTime`] — CTDNE's linear rank bias.
 //!
-//! Sampling runs through a prepare-then-sample API: the configuration enum
-//! [`prepare`](TransitionSampler::prepare)s into a [`PreparedSampler`] —
-//! for the softmax variants, per-vertex cumulative-weight tables that turn
-//! each step's `O(d)` exponentiation loop into one uniform draw and one
-//! binary search (`O(log d)`); see the [`sampler`] module. The prepared
-//! sampler is built once per graph, shared read-only across worker
-//! threads, and reusable across bulk and incremental-refresh runs. Custom
-//! bias functions plug in via the [`TransitionBias`] trait.
+//! Sampling runs through a prepare-then-sample API: a [`SamplerBuilder`]
+//! (or the [`prepare`](TransitionSampler::prepare) shorthand) turns the
+//! configuration enum into a [`PreparedSampler`]. For the softmax variants
+//! the builder chooses a [`SamplingMethod`] per vertex — `O(log d)`
+//! inverse-CDF tables by default, `O(1)` alias tables for high-degree
+//! static hubs, bounded rejection for vertices churning under ingest —
+//! all drawing from the same analytic distribution; see the [`sampler`]
+//! module. The prepared sampler is built once per graph, shared read-only
+//! across worker threads, and reusable across bulk and incremental-refresh
+//! runs. Custom bias functions plug in via the [`TransitionBias`] trait.
 //!
 //! The middle loop over vertices is parallelized with work stealing, exactly
 //! as the paper found optimal, and results are deterministic in the seed
 //! regardless of thread count (per-walk RNG streams).
 //!
-//! Two execution strategies run the kernel ([`WalkEngine`]): the classic
-//! per-walk loop nest, and the step-synchronous batched engine
+//! Three execution strategies run the kernel ([`WalkEngine`]): the classic
+//! per-walk loop nest; the step-synchronous batched engine
 //! ([`engine::batched`]) that advances blocks of walks one hop per round,
 //! grouping active walks by current vertex and software-prefetching
-//! upcoming segments to hide memory latency on large graphs. Both produce
+//! upcoming segments; and the step-interleaved engine
+//! ([`engine::interleaved`]) that keeps a per-worker ring of in-flight
+//! walks and switches between them at explicit fetch/advance stage
+//! boundaries so prefetches overlap with useful work. All produce
 //! bit-identical output; [`WalkEngine::Auto`] (the default) picks per run
-//! from the graph's estimated working set.
+//! from the graph's [`estimated_working_set`].
+//!
+//! For call sites that would otherwise thread knobs through several of
+//! these types, [`WalkOptions`] bundles the whole surface (kernel shape,
+//! bias, method policy, engine) behind one validated builder.
 //!
 //! # Examples
 //!
@@ -57,16 +66,24 @@
 
 mod config;
 pub mod engine;
+mod options;
 mod rng;
 pub mod sampler;
 pub mod stats;
 mod walkset;
 
-pub use config::{TransitionSampler, WalkConfig, WalkEngine, DEFAULT_AUTO_LLC_BYTES};
-pub use engine::{
-    generate_walks, generate_walks_from, generate_walks_from_prepared, generate_walks_prepared,
-    generate_walks_serial, resolved_engine, walk_from,
+pub use config::{
+    TransitionSampler, WalkConfig, WalkEngine, DEFAULT_AUTO_LLC_BYTES, DEFAULT_WALK_RING,
 };
+pub use engine::{
+    estimated_working_set, generate_walks, generate_walks_from, generate_walks_from_prepared,
+    generate_walks_prepared, generate_walks_serial, resolved_engine, walk_from,
+    INTERLEAVE_MAX_MEAN_DEGREE,
+};
+pub use options::WalkOptions;
 pub use rng::WalkRng;
-pub use sampler::{PreparedSampler, SamplerBuildStats, TransitionBias};
+pub use sampler::{
+    PreparedSampler, SamplerBuildStats, SamplerBuilder, SamplingMethod, TransitionBias,
+    VertexSampler, DEFAULT_ALIAS_DEGREE,
+};
 pub use walkset::{WalkIter, WalkSet};

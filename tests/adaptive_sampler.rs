@@ -1,0 +1,292 @@
+//! Equivalence and policy tests for the per-vertex adaptive sampling
+//! methods behind `SamplerBuilder`, through the public API only.
+//!
+//! * The CDF method is the reference: forcing it through the builder must
+//!   reproduce the legacy `prepare` path bit-for-bit, walks included.
+//! * Alias and rejection consume the RNG differently, so their contract
+//!   is distributional: a two-sample chi-squared over 20k draws against
+//!   the CDF path must not reject, and neither sample may deviate from
+//!   the analytic softmax probabilities.
+//! * Under streaming ingest, the builder must route churned vertices to
+//!   table-free rejection while static hubs keep their alias tables, and
+//!   every emitted walk must remain a temporally valid path.
+//!
+//! CI additionally runs this suite under `SIMD_FORCE_SCALAR=1` (the
+//! forced-scalar pass).
+
+use tgraph::dynamic::DynamicGraph;
+use tgraph::{TemporalEdge, TemporalGraph};
+use twalk::{
+    generate_walks_from_prepared, generate_walks_prepared, PreparedSampler, SamplerBuilder,
+    SamplingMethod, TransitionSampler, WalkConfig, WalkEngine, WalkOptions, WalkRng,
+};
+
+const DRAWS: usize = 20_000;
+
+/// Preferential-attachment stand-in with a heavy-tailed degree
+/// distribution — the regime where hubs earn alias tables.
+fn pa_graph() -> TemporalGraph {
+    tgraph::gen::preferential_attachment(400, 4, 11).undirected(true).build()
+}
+
+/// The vertex with the largest out-segment, plus its degree.
+fn max_degree_vertex(g: &TemporalGraph) -> (u32, usize) {
+    (0..g.num_nodes() as u32)
+        .map(|v| (v, g.neighbor_slices(v).0.len()))
+        .max_by_key(|&(_, d)| d)
+        .expect("non-empty graph")
+}
+
+/// Analytic probabilities of the tables' segment-anchored weights over a
+/// candidate suffix (softmax Eq. 1 or its recency-negated variant).
+fn analytic_probs(times: &[f64], span: f64, recency: bool) -> Vec<f64> {
+    let sign = if recency { -1.0 } else { 1.0 };
+    let max_e = times.iter().fold(f64::NEG_INFINITY, |m, &t| m.max(sign * t / span));
+    let w: Vec<f64> = times.iter().map(|&t| (sign * t / span - max_e).exp()).collect();
+    let total: f64 = w.iter().sum();
+    w.into_iter().map(|x| x / total).collect()
+}
+
+/// Two-sample chi-squared statistic for equal-size samples; bins with no
+/// mass in either sample contribute nothing.
+fn chi_squared_two_sample(a: &[u64], b: &[u64]) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let n = (x + y) as f64;
+        if n > 0.0 {
+            let d = x as f64 - y as f64;
+            stat += d * d / n;
+            df += 1;
+        }
+    }
+    (stat, df.saturating_sub(1))
+}
+
+/// Loose upper bound on the chi-squared 99.99th percentile: mean + 5σ.
+/// The draws are seeded, so this guards against implementation drift,
+/// not sampling noise.
+fn chi_squared_bound(df: usize) -> f64 {
+    df as f64 + 5.0 * (2.0 * df as f64).sqrt() + 10.0
+}
+
+/// Asserts every walk in `walks` is a temporally valid path of `g`.
+fn assert_temporally_valid(g: &TemporalGraph, walks: &twalk::WalkSet, label: &str) {
+    for walk in walks.iter() {
+        assert!(!walk.is_empty(), "{label}: empty walk");
+        let mut last_t = f64::NEG_INFINITY;
+        for pair in walk.windows(2) {
+            let (dsts, times) = g.neighbor_slices(pair[0]);
+            let t = dsts
+                .iter()
+                .zip(times)
+                .filter(|&(&d, &t)| d == pair[1] && t > last_t)
+                .map(|(_, &t)| t)
+                .next();
+            last_t = t.unwrap_or_else(|| {
+                panic!("{label}: no valid edge {} -> {} after t={last_t}", pair[0], pair[1])
+            });
+        }
+    }
+}
+
+fn forced(bias: TransitionSampler, method: SamplingMethod, g: &TemporalGraph) -> PreparedSampler {
+    SamplerBuilder::new(bias).method(method).build(g)
+}
+
+/// Alias (O(1) Vose draw) and bounded rejection must track the CDF
+/// tables' distribution on the skewed graph's hub, for both weighted
+/// biases, on the full segment and a mid-segment suffix cut.
+#[test]
+fn alias_and_rejection_match_cdf_distributionally() {
+    let g = pa_graph();
+    let span = g.time_span().max(f64::MIN_POSITIVE);
+    let (v, deg) = max_degree_vertex(&g);
+    assert!(deg >= 16, "need a high-degree vertex, got {deg}");
+    let (_, times) = g.neighbor_slices(v);
+
+    for (si, bias) in
+        [TransitionSampler::Softmax, TransitionSampler::SoftmaxRecency].into_iter().enumerate()
+    {
+        let recency = bias == TransitionSampler::SoftmaxRecency;
+        let cdf = forced(bias, SamplingMethod::Cdf, &g);
+        for method in [SamplingMethod::Alias, SamplingMethod::Rejection] {
+            let adaptive = forced(bias, method, &g);
+            assert_eq!(adaptive.method_of(v), Some(method));
+            for lo in [0usize, deg / 3] {
+                let probs = analytic_probs(&times[lo..], span, recency);
+                let mut cdf_counts = vec![0u64; deg - lo];
+                let mut adaptive_counts = vec![0u64; deg - lo];
+                let mut rng_c = WalkRng::from_stream(99, si as u64, lo as u64);
+                let mut rng_a = WalkRng::from_stream(407, si as u64, lo as u64);
+                for _ in 0..DRAWS {
+                    let pick = adaptive.sample(v, times, lo, f64::NEG_INFINITY, &mut rng_a);
+                    assert!((lo..deg).contains(&pick), "pick {pick} escaped suffix [{lo}, {deg})");
+                    adaptive_counts[pick - lo] += 1;
+                    cdf_counts[cdf.sample(v, times, lo, f64::NEG_INFINITY, &mut rng_c) - lo] += 1;
+                }
+                let (stat, df) = chi_squared_two_sample(&adaptive_counts, &cdf_counts);
+                assert!(
+                    stat < chi_squared_bound(df),
+                    "{bias:?}/{method} lo={lo}: chi-squared {stat:.1} over {df} df rejects \
+                     equivalence with the CDF path"
+                );
+                // Both empirical distributions must also track the
+                // analytic probabilities, not merely each other.
+                for (i, &p) in probs.iter().enumerate() {
+                    let got = adaptive_counts[i] as f64 / DRAWS as f64;
+                    assert!(
+                        (got - p).abs() < 0.025,
+                        "{bias:?}/{method} lo={lo} bin {i}: {got:.4} vs analytic {p:.4}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forcing CDF through the builder is the legacy `prepare` path under a
+/// new name: identical build stats and bit-identical walks, whichever
+/// engine runs them. So is Auto when no vertex qualifies for promotion.
+#[test]
+fn builder_cdf_facade_is_bit_compatible_with_legacy_prepare() {
+    let g = pa_graph();
+    let par = par::ParConfig::with_threads(4);
+    for bias in [TransitionSampler::Softmax, TransitionSampler::SoftmaxRecency] {
+        let cfg = WalkConfig::new(3, 7).sampler(bias).seed(23);
+        let legacy = bias.prepare(&g);
+        let reference = generate_walks_prepared(&g, &cfg, &legacy, &par);
+        let facades = [
+            forced(bias, SamplingMethod::Cdf, &g),
+            SamplerBuilder::new(bias).alias_degree_threshold(usize::MAX).build(&g),
+        ];
+        for built in facades {
+            assert_eq!(built.stats().table_bytes, legacy.stats().table_bytes);
+            assert_eq!(built.stats().alias_vertices, 0);
+            for engine in [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Interleaved] {
+                let got = generate_walks_prepared(&g, &cfg.engine(engine), &built, &par);
+                assert_eq!(got, reference, "{bias:?} builder walks diverged on {engine}");
+            }
+        }
+    }
+}
+
+/// The Auto policy's promotion is exactly degree-thresholded: the alias
+/// vertex count equals the number of vertices at or above the threshold,
+/// hubs report alias, the rest report cdf, and the budgeted variant
+/// admits hubs first until the byte budget runs out.
+#[test]
+fn auto_promotes_hubs_by_degree_and_respects_the_budget() {
+    let g = pa_graph();
+    let threshold = 32usize;
+    let hubs: Vec<u32> =
+        (0..g.num_nodes() as u32).filter(|&v| g.neighbor_slices(v).0.len() >= threshold).collect();
+    assert!(hubs.len() >= 4, "graph too flat for the test: {} hubs", hubs.len());
+
+    let auto =
+        SamplerBuilder::new(TransitionSampler::Softmax).alias_degree_threshold(threshold).build(&g);
+    let stats = auto.stats();
+    assert_eq!(stats.alias_vertices, hubs.len());
+    assert!(stats.alias_bytes > 0 && stats.alias_bytes < stats.table_bytes);
+    for &v in &hubs {
+        assert_eq!(auto.method_of(v), Some(SamplingMethod::Alias), "hub {v}");
+    }
+    let (small, _) = (0..g.num_nodes() as u32)
+        .map(|v| (v, g.neighbor_slices(v).0.len()))
+        .find(|&(_, d)| d >= 1 && d < threshold)
+        .expect("some low-degree vertex");
+    assert_eq!(auto.method_of(small), Some(SamplingMethod::Cdf));
+
+    // A budget big enough for only the single largest hub demotes the
+    // rest back to CDF; a zero budget demotes everyone.
+    let (top, top_deg) = max_degree_vertex(&g);
+    let budgeted = SamplerBuilder::new(TransitionSampler::Softmax)
+        .alias_degree_threshold(threshold)
+        .alias_budget_bytes(top_deg * 12)
+        .build(&g);
+    assert_eq!(budgeted.stats().alias_vertices, 1);
+    assert_eq!(budgeted.method_of(top), Some(SamplingMethod::Alias));
+    let none = SamplerBuilder::new(TransitionSampler::Softmax)
+        .alias_degree_threshold(threshold)
+        .alias_budget_bytes(0)
+        .build(&g);
+    assert_eq!(none.stats().alias_vertices, 0);
+}
+
+/// Walks drawn through forced alias/rejection (and the mixed Auto
+/// policy) stay temporally valid on every engine.
+#[test]
+fn adaptive_method_walks_remain_temporally_valid() {
+    let g = pa_graph();
+    let par = par::ParConfig::with_threads(2);
+    for method in [SamplingMethod::Alias, SamplingMethod::Rejection, SamplingMethod::Auto] {
+        for engine in [WalkEngine::PerWalk, WalkEngine::Interleaved] {
+            let opts = WalkOptions::new(2, 10)
+                .sampler(TransitionSampler::Softmax)
+                .sampler_method(method)
+                .alias_degree_threshold(16)
+                .engine(engine)
+                .seed(5);
+            let walks = opts.generate(&g, &par);
+            assert_eq!(walks.num_walks(), 2 * g.num_nodes());
+            assert_temporally_valid(&g, &walks, &format!("{method}/{engine}"));
+        }
+    }
+}
+
+/// The streaming scenario the rejection method exists for: a graph
+/// evolving under `DynamicGraph` ingest. Each refresh rebuilds the
+/// sampler with the dirty set marked churned — those vertices must come
+/// out as rejection (no wasted table builds), untouched hubs keep alias,
+/// and the refreshed walks stay valid and engine-independent.
+#[test]
+fn streaming_ingest_keeps_churned_vertices_on_rejection() {
+    let mut dyn_g = DynamicGraph::from_graph(&pa_graph());
+    let cfg = WalkConfig::new(2, 8).sampler(TransitionSampler::Softmax).seed(17);
+    let par = par::ParConfig::with_threads(4);
+
+    for batch in 0u32..3 {
+        // Each batch touches a fresh trio of sources, plus one brand-new
+        // vertex in the last round.
+        let base = batch * 7;
+        let far = if batch == 2 { 450 } else { base + 2 };
+        dyn_g.add_edges([
+            TemporalEdge::new(base, base + 1, 2.0 + batch as f64),
+            TemporalEdge::new(base + 1, far, 2.5 + batch as f64),
+        ]);
+        let dirty = dyn_g.take_dirty();
+        assert!(!dirty.is_empty(), "batch {batch} marked nothing dirty");
+        let csr = dyn_g.to_csr();
+        let sampler = SamplerBuilder::new(cfg.sampler)
+            .alias_degree_threshold(16)
+            .churned(dirty.iter().copied())
+            .build(&csr);
+        for &v in &dirty {
+            if !csr.neighbor_slices(v).0.is_empty() {
+                assert_eq!(
+                    sampler.method_of(v),
+                    Some(SamplingMethod::Rejection),
+                    "churned vertex {v} (batch {batch})"
+                );
+            }
+        }
+        // A hub far from the ingested region keeps its alias table.
+        let (top, _) = max_degree_vertex(&csr);
+        if !dirty.contains(&top) {
+            assert_eq!(sampler.method_of(top), Some(SamplingMethod::Alias));
+        }
+        let reference = generate_walks_from_prepared(
+            &csr,
+            &cfg.engine(WalkEngine::PerWalk),
+            &sampler,
+            &dirty,
+            &par,
+        );
+        assert_temporally_valid(&csr, &reference, &format!("refresh batch {batch}"));
+        for engine in [WalkEngine::Batched, WalkEngine::Interleaved] {
+            let got =
+                generate_walks_from_prepared(&csr, &cfg.engine(engine), &sampler, &dirty, &par);
+            assert_eq!(got, reference, "batch {batch}: {engine} refresh diverged");
+        }
+    }
+}

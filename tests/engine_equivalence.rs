@@ -1,12 +1,14 @@
 //! Property-style equivalence suite for the walk execution engines.
 //!
-//! The batched engine (`twalk::engine::batched`) reorders execution
-//! aggressively — step-synchronous rounds, counting-sort grouping,
-//! dynamic block scheduling — but every `(walk, vertex)` pair owns its
-//! own RNG stream, so its output must be **bit-identical** to the
-//! per-walk engine for every sampler, thread count, chunk size, and graph
-//! shape. These tests assert exactly that, on both the full-run and the
-//! incremental-refresh (`generate_walks_from`) paths.
+//! The batched engine (`twalk::engine::batched`) and the interleaved
+//! engine (`twalk::engine::interleaved`) reorder execution aggressively —
+//! step-synchronous rounds, counting-sort grouping, per-worker rings that
+//! switch walks at pipeline-stage boundaries — but every `(walk, vertex)`
+//! pair owns its own RNG stream, so their output must be
+//! **bit-identical** to the per-walk engine for every sampler, thread
+//! count, chunk size, ring size, and graph shape. These tests assert
+//! exactly that, on both the full-run and the incremental-refresh
+//! (`generate_walks_from`) paths.
 //!
 //! CI additionally runs this suite under `SIMD_FORCE_SCALAR=1` (the
 //! forced-scalar pass) so engine identity is pinned on the scalar kernel
@@ -50,12 +52,12 @@ fn graphs() -> Vec<(&'static str, TemporalGraph)> {
     ]
 }
 
-/// Bit-identity of batched vs per-walk across the full parameter grid:
-/// all four samplers × thread counts {1, 4, 8} × chunk sizes × the graph
-/// zoo. The per-walk single-thread run is the reference; every other
-/// configuration must reproduce it exactly.
+/// Bit-identity of batched and interleaved vs per-walk across the full
+/// parameter grid: all four samplers × thread counts {1, 4, 8} × chunk
+/// sizes × the graph zoo. The per-walk single-thread run is the
+/// reference; every other configuration must reproduce it exactly.
 #[test]
-fn batched_is_bit_identical_to_per_walk_across_grid() {
+fn bulk_engines_are_bit_identical_to_per_walk_across_grid() {
     for (name, g) in graphs() {
         for sampler in SAMPLERS {
             let cfg = WalkConfig::new(4, 7).sampler(sampler).seed(29);
@@ -69,7 +71,9 @@ fn batched_is_bit_identical_to_per_walk_across_grid() {
             for threads in [1usize, 4, 8] {
                 for chunk in [13usize, 256] {
                     let par = ParConfig::with_threads(threads).chunk_size(chunk);
-                    for engine in [WalkEngine::PerWalk, WalkEngine::Batched] {
+                    for engine in
+                        [WalkEngine::PerWalk, WalkEngine::Batched, WalkEngine::Interleaved]
+                    {
                         let got = generate_walks_prepared(&g, &cfg.engine(engine), &prepared, &par);
                         assert_eq!(
                             got, reference,
@@ -78,6 +82,36 @@ fn batched_is_bit_identical_to_per_walk_across_grid() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// The ring size only changes how many walks an interleaved worker keeps
+/// in flight, never what they produce: every size from a degenerate
+/// 1-slot ring (pure sequential fetch/advance) to one far larger than any
+/// block must be bit-identical to the per-walk reference.
+#[test]
+fn interleaved_ring_sizes_are_walk_invariant() {
+    let g = tgraph::gen::preferential_attachment(400, 3, 7).undirected(true).build();
+    for sampler in [TransitionSampler::Softmax, TransitionSampler::Uniform] {
+        let base = WalkConfig::new(4, 7).sampler(sampler).seed(29);
+        let prepared = sampler.prepare(&g);
+        let reference = generate_walks_prepared(
+            &g,
+            &base.engine(WalkEngine::PerWalk),
+            &prepared,
+            &ParConfig::with_threads(1),
+        );
+        for ring in [1usize, 3, 32, 256] {
+            for threads in [1usize, 4, 8] {
+                let par = ParConfig::with_threads(threads).chunk_size(64);
+                let cfg = base.engine(WalkEngine::Interleaved).ring(ring);
+                let got = generate_walks_prepared(&g, &cfg, &prepared, &par);
+                assert_eq!(
+                    got, reference,
+                    "ring {ring} diverged with {sampler}, {threads} threads"
+                );
             }
         }
     }
@@ -111,14 +145,16 @@ fn refresh_paths_are_engine_independent() {
             );
             for threads in [1usize, 4, 8] {
                 let par = ParConfig::with_threads(threads).chunk_size(13);
-                let batched = generate_walks_from_prepared(
-                    &g,
-                    &cfg.engine(WalkEngine::Batched),
-                    &prepared,
-                    &sources,
-                    &par,
-                );
-                assert_eq!(batched, reference, "batched refresh diverged on {name} ({sampler})");
+                for engine in [WalkEngine::Batched, WalkEngine::Interleaved] {
+                    let got = generate_walks_from_prepared(
+                        &g,
+                        &cfg.engine(engine),
+                        &prepared,
+                        &sources,
+                        &par,
+                    );
+                    assert_eq!(got, reference, "{engine} refresh diverged on {name} ({sampler})");
+                }
             }
             // Refresh rows must also match the full run's rows for the
             // same (walk, vertex) pairs — the incremental-embedder
@@ -152,41 +188,69 @@ fn engines_agree_on_static_mode_and_start_time() {
             let prepared = sampler.prepare(&g);
             let par = ParConfig::with_threads(4).chunk_size(64);
             let a = generate_walks_prepared(&g, &cfg.engine(WalkEngine::PerWalk), &prepared, &par);
-            let b = generate_walks_prepared(&g, &cfg.engine(WalkEngine::Batched), &prepared, &par);
-            assert_eq!(a, b, "engines diverged ({sampler}, respect_time={})", cfg.respect_time);
+            for engine in [WalkEngine::Batched, WalkEngine::Interleaved] {
+                let b = generate_walks_prepared(&g, &cfg.engine(engine), &prepared, &par);
+                assert_eq!(
+                    a, b,
+                    "{engine} diverged ({sampler}, respect_time={})",
+                    cfg.respect_time
+                );
+            }
         }
     }
 }
 
-/// `Auto` must be a pure dispatcher: whichever engine it resolves to, the
-/// walks equal both explicit engines' output, and the resolution is
-/// monotone in the threshold (tiny threshold → batched, huge → per-walk).
+/// `Auto` must be a pure dispatcher over its three bands: whichever
+/// engine it resolves to, the walks equal the explicit engines' output.
+/// The bands: a working set within the cache threshold keeps per-walk;
+/// past it the bulk engines split by mean degree — sparse graphs take
+/// the interleaved ring (little grouping reuse), dense skewed graphs
+/// take batched grouping.
 #[test]
 fn auto_resolves_by_threshold_and_stays_identical() {
-    let g = tgraph::gen::preferential_attachment(600, 4, 13).undirected(true).build();
     let sampler = TransitionSampler::Softmax;
-    let prepared = sampler.prepare(&g);
+    // Sparse: PA m = 4 undirected, mean degree ~8 — far below the
+    // interleave/batched crossover.
+    let sparse = tgraph::gen::preferential_attachment(600, 4, 13).undirected(true).build();
+    // Dense: PA m = 24 undirected, mean degree ~48 — above it.
+    let dense = tgraph::gen::preferential_attachment(600, 24, 13).undirected(true).build();
+    assert!(
+        (sparse.num_edges() as f64 / sparse.num_nodes() as f64)
+            <= twalk::INTERLEAVE_MAX_MEAN_DEGREE,
+        "sparse fixture crossed the degree boundary"
+    );
+    assert!(
+        (dense.num_edges() as f64 / dense.num_nodes() as f64) > twalk::INTERLEAVE_MAX_MEAN_DEGREE,
+        "dense fixture under the degree boundary"
+    );
     let base = WalkConfig::new(4, 6).sampler(sampler).seed(3);
-    let total = g.num_nodes() * base.walks_per_node;
-
-    let force_batched = base.auto_llc_bytes(1);
-    assert_eq!(
-        twalk::resolved_engine(&g, &force_batched, &prepared, total),
-        WalkEngine::Batched,
-        "a 1-byte threshold must select the batched engine"
-    );
-    let force_perwalk = base.auto_llc_bytes(usize::MAX);
-    assert_eq!(
-        twalk::resolved_engine(&g, &force_perwalk, &prepared, total),
-        WalkEngine::PerWalk,
-        "an unreachable threshold must keep the per-walk engine"
-    );
-
     let par = ParConfig::with_threads(4);
-    let explicit = generate_walks_prepared(&g, &base.engine(WalkEngine::PerWalk), &prepared, &par);
-    for cfg in [force_batched, force_perwalk] {
-        let auto = generate_walks_prepared(&g, &cfg, &prepared, &par);
-        assert_eq!(auto, explicit, "Auto changed walk content");
+    for (g, bulk) in [(&sparse, WalkEngine::Interleaved), (&dense, WalkEngine::Batched)] {
+        let prepared = sampler.prepare(g);
+        let total = g.num_nodes() * base.walks_per_node;
+        let ws = twalk::estimated_working_set(g, &prepared, total);
+        assert!(ws > 2.0, "degenerate working-set estimate {ws}");
+
+        // llc below ws → bulk engine, split by mean degree.
+        let force_bulk = base.auto_llc_bytes(1);
+        // llc ≥ ws → everything fits → plain per-walk.
+        let force_perwalk = base.auto_llc_bytes(usize::MAX);
+        let bands = [(force_bulk, bulk), (force_perwalk, WalkEngine::PerWalk)];
+        for (cfg, want) in bands {
+            assert_eq!(
+                twalk::resolved_engine(g, &cfg, &prepared, total),
+                want,
+                "threshold {} resolved wrongly (working set ≈ {ws:.0})",
+                cfg.auto_llc_bytes
+            );
+        }
+
+        let explicit =
+            generate_walks_prepared(g, &base.engine(WalkEngine::PerWalk), &prepared, &par);
+        for (cfg, _) in bands {
+            let auto = generate_walks_prepared(g, &cfg, &prepared, &par);
+            assert_eq!(auto, explicit, "Auto changed walk content");
+        }
     }
 }
 
