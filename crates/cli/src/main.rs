@@ -14,9 +14,13 @@
 //!                 [--sampler-method auto|cdf|alias|rejection]
 //! rwalk sweep     [--dataset NAME] [--scale S]   # Fig. 8 mini-sweep
 //! rwalk profile   [--dataset NAME] [--scale S]   # instruction mix + stalls
-//! rwalk serve     [--dataset NAME | --wel FILE] [--scale S] [--port P]
+//! rwalk serve     [--dataset NAME | --wel FILE | --graph-store FILE]
+//!                 [--snapshot FILE] [--scale S] [--port P]
 //!                 [--threads T] [--max-batch B] [--max-wait-us W]
 //!                 [--refresh-ms R] [--smoke]
+//! rwalk pack      [--dataset NAME | --wel FILE] [--scale S]
+//!                 [--graph-out FILE] [--snapshot-out FILE] [walk flags]
+//! rwalk inspect   FILE
 //! ```
 //!
 //! `--sampler` selects the walk transition bias (default `softmax`, the
@@ -39,6 +43,15 @@
 //! protocol (see the README's "Serving" section); `--smoke` starts the
 //! server on a loopback port, issues one query of each type against it,
 //! prints the responses, and exits — the CI smoke test.
+//!
+//! Persistence (README "Persistence", DESIGN.md §14): `pack` writes
+//! store files — `--graph-out` the ingested graph plus its prepared
+//! sampler tables, `--snapshot-out` a trained model snapshot; `inspect`
+//! validates a store file and prints its section table. `--graph-store`
+//! opens a packed graph (memory-mapped, zero-copy) instead of
+//! re-ingesting a dataset, and `serve --snapshot` warm-restarts from a
+//! packed snapshot without training — the first query answers in
+//! milliseconds under the version the snapshot was packed with.
 
 use std::process::ExitCode;
 
@@ -48,9 +61,22 @@ use twalk::{SamplingMethod, TransitionSampler, WalkEngine};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: rwalk <datasets|linkpred|nodeclass|sweep|profile> [options]");
+        eprintln!(
+            "usage: rwalk <datasets|linkpred|nodeclass|sweep|profile|serve|pack|inspect> [options]"
+        );
         return ExitCode::FAILURE;
     };
+    // `inspect` takes a positional file path, not flags; handle it before
+    // the flag parser.
+    if cmd == "inspect" {
+        return match cmd_inspect(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match Options::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -70,6 +96,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "profile" => cmd_profile(&opts),
         "serve" => cmd_serve(&opts),
+        "pack" => cmd_pack(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     let result = result.and_then(|()| write_metrics_snapshot(&opts));
@@ -113,6 +140,10 @@ struct Options {
     refresh_ms: u64,
     smoke: bool,
     metrics_out: Option<String>,
+    graph_store: Option<String>,
+    snapshot: Option<String>,
+    graph_out: Option<String>,
+    snapshot_out: Option<String>,
 }
 
 impl Options {
@@ -137,6 +168,10 @@ impl Options {
             refresh_ms: 1_000,
             smoke: false,
             metrics_out: None,
+            graph_store: None,
+            snapshot: None,
+            graph_out: None,
+            snapshot_out: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -186,6 +221,10 @@ impl Options {
                 }
                 "--smoke" => o.smoke = true,
                 "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+                "--graph-store" => o.graph_store = Some(val("--graph-store")?),
+                "--snapshot" => o.snapshot = Some(val("--snapshot")?),
+                "--graph-out" => o.graph_out = Some(val("--graph-out")?),
+                "--snapshot-out" => o.snapshot_out = Some(val("--snapshot-out")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -209,6 +248,9 @@ impl Options {
         }
         if o.refresh_ms == 0 {
             return Err("--refresh-ms must be at least 1".into());
+        }
+        if o.wel.is_some() && o.graph_store.is_some() {
+            return Err("--wel and --graph-store are mutually exclusive graph sources".into());
         }
         // Cross-flag rules (e.g. `--sampler-method alias` needs a weighted
         // `--sampler`) live in WalkOptions::validate, the single authority
@@ -263,6 +305,26 @@ impl Options {
         };
         Ok(d)
     }
+
+    /// The graph to operate on: a packed store file when `--graph-store`
+    /// is given (opened zero-copy from the mapping), otherwise the named
+    /// dataset (ingested and CSR-built from scratch).
+    fn load_graph(&self) -> Result<(String, tgraph::TemporalGraph), String> {
+        if let Some(path) = &self.graph_store {
+            let t0 = std::time::Instant::now();
+            let opened = store::open_graph(std::path::Path::new(path))
+                .map_err(|e| format!("--graph-store {path}: {e}"))?;
+            println!(
+                "graph store {path}: {} bytes, {} in {:.1} ms",
+                opened.file_len,
+                if opened.mapped { "mapped" } else { "heap-loaded" },
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            return Ok((format!("store:{path}"), opened.graph));
+        }
+        let d = self.named_dataset()?;
+        Ok((d.name, d.graph))
+    }
 }
 
 fn cmd_datasets(o: &Options) -> Result<(), String> {
@@ -272,14 +334,19 @@ fn cmd_datasets(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_linkpred(o: &Options) -> Result<(), String> {
-    let d = o.named_dataset()?;
-    println!("dataset {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
-    let report = o.pipeline().run_link_prediction(&d.graph).map_err(|e| e.to_string())?;
+    let (name, graph) = o.load_graph()?;
+    println!("dataset {} ({} nodes, {} edges)", name, graph.num_nodes(), graph.num_edges());
+    let report = o.pipeline().run_link_prediction(&graph).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
     Ok(())
 }
 
 fn cmd_nodeclass(o: &Options) -> Result<(), String> {
+    if o.graph_store.is_some() {
+        return Err("--graph-store holds no labels; node classification needs a labeled dataset \
+             (dblp3/dblp5/brain)"
+            .into());
+    }
     let d = o.named_dataset()?;
     let labels = d
         .labels
@@ -382,25 +449,64 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Duration;
 
-    let d = o.named_dataset()?;
-    println!("dataset {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
-    println!("training link model...");
     let hp = if o.smoke { o.hyperparams().quick_test() } else { o.hyperparams() };
-    let model = Pipeline::new(hp.clone()).train_link_model(&d.graph).map_err(|e| e.to_string())?;
-    println!("{}", model.report.summary());
 
-    // Warm the incremental embedder so background cycles are dirty-vertex
-    // refreshes, not full rebuilds.
-    let mut embedder = IncrementalEmbedder::new(hp, &d.graph);
-    embedder.refresh();
+    // Model source: a packed snapshot (warm restart, no training) or a
+    // fresh training run on the graph.
+    let (store, graph) = if let Some(path) = &o.snapshot {
+        let t0 = std::time::Instant::now();
+        let snap = store::open_snapshot(std::path::Path::new(path))
+            .map_err(|e| format!("--snapshot {path}: {e}"))?;
+        println!(
+            "warm start from snapshot {path}: version {}, {} nodes x dim {}, {} in {:.1} ms",
+            snap.version,
+            snap.emb.num_nodes(),
+            snap.emb.dim(),
+            if snap.mapped { "mapped" } else { "heap-loaded" },
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        if snap.emb.dim() != hp.dim {
+            return Err(format!(
+                "--snapshot {path} was packed with dim {} but --dim is {}; pass --dim {}",
+                snap.emb.dim(),
+                hp.dim,
+                snap.emb.dim()
+            ));
+        }
+        // A graph is only needed for the ingest/refresh path; without
+        // one the server answers queries but rejects ingest.
+        let graph = if o.graph_store.is_some() { Some(o.load_graph()?.1) } else { None };
+        (Arc::new(EmbeddingStore::with_version(snap.version, snap.emb, snap.model)), graph)
+    } else {
+        let (name, graph) = o.load_graph()?;
+        println!("dataset {} ({} nodes, {} edges)", name, graph.num_nodes(), graph.num_edges());
+        println!("training link model...");
+        let model =
+            Pipeline::new(hp.clone()).train_link_model(&graph).map_err(|e| e.to_string())?;
+        println!("{}", model.report.summary());
+        (Arc::new(EmbeddingStore::new(model.emb, model.mlp)), Some(graph))
+    };
 
-    let store = Arc::new(EmbeddingStore::new(model.emb, model.mlp));
     let policy =
         BatchPolicy { max_batch: o.max_batch, max_wait: Duration::from_micros(o.max_wait_us) };
-    let service = Arc::new(
-        Service::new(Arc::clone(&store), par::ParConfig::with_threads(o.threads), policy)
-            .with_refresher(embedder, Duration::from_millis(o.refresh_ms)),
-    );
+    let mut service =
+        Service::new(Arc::clone(&store), par::ParConfig::with_threads(o.threads), policy);
+    let ingest_enabled = graph.is_some();
+    if let Some(graph) = graph {
+        // Warm restarts skip the initial refresh — the served embedding
+        // comes from the snapshot; the embedder only runs when ingested
+        // edges trigger a background cycle.
+        let mut embedder = IncrementalEmbedder::new(hp, &graph);
+        if o.snapshot.is_none() {
+            // Warm the incremental embedder so background cycles are
+            // dirty-vertex refreshes, not full rebuilds.
+            embedder.refresh();
+        }
+        service = service.with_refresher(embedder, Duration::from_millis(o.refresh_ms));
+    } else {
+        println!("no graph source: ingest disabled (pass --graph-store to enable)");
+    }
+    let service = Arc::new(service);
 
     let addr = if o.smoke {
         "127.0.0.1:0".to_string() // OS-assigned port; smoke must not collide
@@ -412,7 +518,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     println!("serving on {} ({} handler threads)", server.local_addr(), threads);
 
     if o.smoke {
-        return smoke_check(&server);
+        return smoke_check(&server, ingest_enabled);
     }
     // Serve until killed; the stats summary goes to stdout once a minute.
     loop {
@@ -421,9 +527,125 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     }
 }
 
+fn cmd_pack(o: &Options) -> Result<(), String> {
+    if o.graph_out.is_none() && o.snapshot_out.is_none() {
+        return Err(
+            "pack needs at least one output: --graph-out FILE and/or --snapshot-out FILE".into()
+        );
+    }
+    if o.graph_store.is_some() {
+        // Re-packing an already packed graph is a no-op round trip; the
+        // flag combination is almost certainly a mistake.
+        return Err(
+            "pack ingests a dataset (--dataset/--wel); --graph-store is not a pack input".into()
+        );
+    }
+    let d = o.named_dataset()?;
+    println!("dataset {} ({} nodes, {} edges)", d.name, d.graph.num_nodes(), d.graph.num_edges());
+
+    if let Some(path) = &o.graph_out {
+        // Pack the graph together with the sampler tables the configured
+        // bias/method policy would build, so opening skips preparation too.
+        let prepared =
+            twalk::SamplerBuilder::new(o.sampler).method(o.sampler_method).build(&d.graph);
+        let t0 = std::time::Instant::now();
+        let bytes =
+            store::pack_graph_to_path(std::path::Path::new(path), &d.graph, Some(&prepared))
+                .map_err(|e| format!("--graph-out {path}: {e}"))?;
+        println!(
+            "graph store written to {path}: {bytes} bytes ({} sampler table bytes) in {:.1} ms",
+            prepared.stats().table_bytes,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    if let Some(path) = &o.snapshot_out {
+        println!("training link model...");
+        let model =
+            Pipeline::new(o.hyperparams()).train_link_model(&d.graph).map_err(|e| e.to_string())?;
+        println!("{}", model.report.summary());
+        let t0 = std::time::Instant::now();
+        let bytes =
+            store::pack_snapshot_to_path(std::path::Path::new(path), 1, &model.emb, &model.mlp)
+                .map_err(|e| format!("--snapshot-out {path}: {e}"))?;
+        println!(
+            "snapshot written to {path}: {bytes} bytes (version 1) in {:.1} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// `rwalk inspect FILE` — validates a store file (all checksums) and
+/// prints its header and section table.
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: rwalk inspect FILE".into());
+    };
+    let c = store::Container::open(std::path::Path::new(path))
+        .map_err(|e| format!("inspect {path}: {e}"))?;
+    println!(
+        "{path}: {} store, {} bytes, {} sections, all checksums ok",
+        match c.kind() {
+            store::ArtifactKind::Graph => "graph",
+            store::ArtifactKind::Snapshot => "snapshot",
+        },
+        c.file_len(),
+        c.sections().len()
+    );
+    println!("| section | offset | bytes | elem | checksum |");
+    println!("|---|---|---|---|---|");
+    for s in c.sections() {
+        println!(
+            "| {} | {} | {} | {} | {:#018x} |",
+            s.name_str(),
+            s.offset,
+            s.len,
+            s.elem_size,
+            s.checksum
+        );
+    }
+    match c.kind() {
+        store::ArtifactKind::Graph => {
+            let meta = c.u64s("meta").map_err(|e| e.to_string())?;
+            println!("graph: {} nodes, {} edges", meta[0], meta[1]);
+            if c.has_section("smet") {
+                let s = c.u64s("smet").map_err(|e| e.to_string())?;
+                let bias = match s[0] {
+                    0 => "uniform".to_string(),
+                    1 => "linear".to_string(),
+                    2 => "softmax".to_string(),
+                    3 => "recency".to_string(),
+                    other => format!("unknown({other})"),
+                };
+                println!(
+                    "sampler: {bias} (cdf={}, alias={}, rejection={} vertices)",
+                    s[3], s[4], s[5]
+                );
+            } else {
+                println!("sampler: none packed");
+            }
+        }
+        store::ArtifactKind::Snapshot => {
+            let meta = c.u64s("meta").map_err(|e| e.to_string())?;
+            println!(
+                "snapshot: version {}, {} nodes x dim {}, {} layers, head {}",
+                meta[0],
+                meta[1],
+                meta[2],
+                meta[5],
+                if meta[3] == 0 { "binary" } else { "multiclass" }
+            );
+        }
+    }
+    Ok(())
+}
+
 /// One query of each protocol op against the live server; any failure is
 /// a hard error. This is the CI smoke test behind `rwalk serve --smoke`.
-fn smoke_check(server: &rwserve::Server) -> Result<(), String> {
+/// A server without a graph source has no refresher, so `ingest` is
+/// expected to answer with its structured "unavailable" error instead.
+fn smoke_check(server: &rwserve::Server, ingest_enabled: bool) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
 
@@ -444,6 +666,12 @@ fn smoke_check(server: &rwserve::Server) -> Result<(), String> {
         let response = response.trim();
         println!("> {request}");
         println!("< {response}");
+        if request.contains("ingest") && !ingest_enabled {
+            if !response.contains("ingest unavailable") {
+                return Err(format!("expected ingest-unavailable error, got: {response}"));
+            }
+            continue;
+        }
         if !response.contains("\"ok\":true") {
             return Err(format!("smoke query failed: {request} -> {response}"));
         }

@@ -51,6 +51,18 @@ fn rejected_flag_combinations_fail_with_explanations() {
         (&["frobnicate"], "unknown command"),
         (&["linkpred", "--dataset", "no-such-dataset", "--scale", "0.05"], "unknown dataset"),
         (&["nodeclass", "--dataset", "ia-email", "--scale", "0.05"], "no labels"),
+        // Store flags: conflicting sources, missing outputs, missing files.
+        (&["serve", "--wel", "edges.wel", "--graph-store", "g.rws"], "mutually exclusive"),
+        (&["pack", "--dataset", "ia-email"], "pack needs at least one output"),
+        (&["pack", "--graph-store", "g.rws", "--graph-out", "o.rws"], "not a pack input"),
+        (&["linkpred", "--graph-store", "/no/such/graph.rws"], "--graph-store /no/such/graph.rws"),
+        (
+            &["serve", "--snapshot", "/no/such/model.rws", "--smoke"],
+            "--snapshot /no/such/model.rws",
+        ),
+        (&["nodeclass", "--graph-store", "g.rws"], "holds no labels"),
+        (&["inspect"], "usage: rwalk inspect FILE"),
+        (&["inspect", "a.rws", "b.rws"], "usage: rwalk inspect FILE"),
     ];
     for (args, needle) in cases {
         let out = rwalk(args);
@@ -63,6 +75,41 @@ fn rejected_flag_combinations_fail_with_explanations() {
     let out = rwalk(&[]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn store_paths_that_are_not_valid_store_files_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("rwalk-badstore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap().to_owned();
+
+    // A directory is not a store file: rejected up front, not mmapped.
+    let out = rwalk(&["inspect", &dir_s]);
+    assert!(!out.status.success(), "inspect on a directory succeeded");
+    assert!(stderr(&out).contains(&format!("inspect {dir_s}")), "{}", stderr(&out));
+
+    // A file with the wrong magic is rejected with the bytes named.
+    let garbage = dir.join("garbage.rws");
+    std::fs::write(&garbage, b"not a store file at all, sorry. ".repeat(4)).unwrap();
+    let garbage_s = garbage.to_str().unwrap();
+    for args in [
+        vec!["inspect", garbage_s],
+        vec!["linkpred", "--graph-store", garbage_s],
+        vec!["serve", "--snapshot", garbage_s, "--smoke"],
+    ] {
+        let out = rwalk(&args);
+        assert!(!out.status.success(), "rwalk {args:?} accepted garbage");
+        assert!(stderr(&out).contains("not a store file"), "rwalk {args:?}: {}", stderr(&out));
+    }
+
+    // A truncated-but-magic-prefixed file fails the structural checks.
+    let truncated = dir.join("truncated.rws");
+    std::fs::write(&truncated, b"RWSTORE\0only a header fragment").unwrap();
+    let out = rwalk(&["inspect", truncated.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("truncated"), "{}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! End-to-end warm restart through the real binary: `pack` a graph
+//! store and a trained model snapshot, then launch `serve --snapshot`
+//! twice and assert the server answers its first queries **without
+//! training**, with identical versions and scores across relaunches,
+//! and that the store open path shows up in the obs metrics snapshot.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn rwalk(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rwalk")).args(args).output().expect("spawn rwalk")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rwalk-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Packs both artifacts once for the process and returns their paths.
+fn pack_artifacts(dir: &Path) -> (String, String) {
+    let graph = dir.join("graph.rws").to_str().unwrap().to_owned();
+    let snap = dir.join("model.rws").to_str().unwrap().to_owned();
+    let out = rwalk(&[
+        "pack",
+        "--dataset",
+        "ia-email",
+        "--scale",
+        "0.05",
+        "--walks",
+        "2",
+        "--len",
+        "4",
+        "--dim",
+        "4",
+        "--graph-out",
+        &graph,
+        "--snapshot-out",
+        &snap,
+    ]);
+    assert!(out.status.success(), "pack failed: {}\n{}", stderr(&out), stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("graph store written to"), "{text}");
+    assert!(text.contains("snapshot written to"), "{text}");
+    (graph, snap)
+}
+
+/// One `serve --snapshot --smoke` run; returns (full stdout, the "< "
+/// response lines for the three deterministic pre-ingest queries).
+fn serve_once(graph: &str, snap: &str, metrics: &str) -> (String, Vec<String>) {
+    let out = rwalk(&[
+        "serve",
+        "--snapshot",
+        snap,
+        "--graph-store",
+        graph,
+        "--dim",
+        "4",
+        "--refresh-ms",
+        "600000", // keep the background refresher quiet during smoke
+        "--smoke",
+        "--metrics-out",
+        metrics,
+    ]);
+    assert!(out.status.success(), "serve failed: {}\n{}", stderr(&out), stdout(&out));
+    let text = stdout(&out);
+    // Warm restart means the model comes from the file, not a training
+    // run: the training banner must not appear.
+    assert!(text.contains("warm start from snapshot"), "{text}");
+    assert!(!text.contains("training link model"), "warm start trained anyway: {text}");
+    assert!(text.contains("smoke: all 6 protocol ops answered ok"), "{text}");
+    // link_score, embedding, topk come before the ingest op, so they
+    // are read-only against the packed snapshot and fully deterministic.
+    let responses: Vec<String> =
+        text.lines().filter(|l| l.starts_with("< ")).take(3).map(str::to_owned).collect();
+    assert_eq!(responses.len(), 3, "{text}");
+    (text, responses)
+}
+
+#[test]
+fn warm_restart_answers_identically_across_relaunches() {
+    let dir = temp_dir("warm");
+    let (graph, snap) = pack_artifacts(&dir);
+
+    let m1 = dir.join("m1.json").to_str().unwrap().to_owned();
+    let m2 = dir.join("m2.json").to_str().unwrap().to_owned();
+    let (_, first) = serve_once(&graph, &snap, &m1);
+    let (_, second) = serve_once(&graph, &snap, &m2);
+
+    // The packed snapshot carries version 1; every pre-ingest answer is
+    // served from it verbatim.
+    for r in &first {
+        assert!(r.contains("\"version\":1"), "response not from snapshot version: {r}");
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    // Kill + relaunch is invisible: scores, embeddings, and neighbor
+    // rankings are byte-identical between the two server lifetimes.
+    assert_eq!(first, second, "relaunched server answered differently");
+
+    // The open path went through the store spans: both artifact kinds
+    // recorded a load-time histogram and per-section byte counters.
+    // (Label quotes appear JSON-escaped inside the snapshot keys.)
+    let metrics = std::fs::read_to_string(&m1).expect("metrics snapshot");
+    for needle in [
+        r#"store_load_ns{kind=\"snapshot\"}"#,
+        r#"store_load_ns{kind=\"graph\"}"#,
+        r#"store_bytes{section=\"goff\"}"#,
+        r#"store_bytes{section=\"embd\"}"#,
+        "store_open_total",
+    ] {
+        assert!(metrics.contains(needle), "metrics snapshot missing {needle}: {metrics}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_only_serve_answers_queries_and_rejects_ingest() {
+    let dir = temp_dir("warm-noingest");
+    let (_, snap) = pack_artifacts(&dir);
+
+    // No --graph-store: the server has nothing to re-embed from, so it
+    // must say so up front and answer ingest with a structured error
+    // while still serving reads from the snapshot.
+    let out = rwalk(&["serve", "--snapshot", &snap, "--dim", "4", "--smoke"]);
+    assert!(out.status.success(), "serve failed: {}\n{}", stderr(&out), stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ingest disabled"), "{text}");
+    assert!(text.contains("ingest unavailable"), "{text}");
+    assert!(!text.contains("training link model"), "{text}");
+    assert!(text.contains("smoke: all 6 protocol ops answered ok"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_dim_mismatch_is_rejected_with_the_fix_spelled_out() {
+    let dir = temp_dir("warm-dim");
+    let (_, snap) = pack_artifacts(&dir);
+
+    // The snapshot was packed with dim 4; serving with the default dim
+    // must fail fast (before any thread spawns) and name the flag.
+    let out = rwalk(&["serve", "--snapshot", &snap, "--smoke"]);
+    assert!(!out.status.success(), "dim mismatch unexpectedly accepted");
+    let err = stderr(&out);
+    assert!(err.contains("pass --dim 4"), "unhelpful dim error: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

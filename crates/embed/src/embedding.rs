@@ -1,6 +1,6 @@
 //! Final (dense, immutable) node embeddings.
 
-use tgraph::NodeId;
+use tgraph::{NodeId, Storage};
 
 /// The learned embedding `f : V → R^d`, row-major and packed.
 ///
@@ -17,7 +17,7 @@ use tgraph::NodeId;
 pub struct EmbeddingMatrix {
     num_nodes: usize,
     dim: usize,
-    data: Vec<f32>,
+    data: Storage<f32>,
 }
 
 impl EmbeddingMatrix {
@@ -27,8 +27,25 @@ impl EmbeddingMatrix {
     ///
     /// Panics if `data.len() != num_nodes * dim`.
     pub fn from_vec(num_nodes: usize, dim: usize, data: Vec<f32>) -> Self {
+        Self::from_storage(num_nodes, dim, data.into())
+    }
+
+    /// Wraps a flat row-major [`Storage`] — the zero-copy entry point
+    /// used by the persistent storage layer, which hands in a view
+    /// borrowed from a mapped snapshot file instead of a heap copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != num_nodes * dim`.
+    pub fn from_storage(num_nodes: usize, dim: usize, data: Storage<f32>) -> Self {
         assert_eq!(data.len(), num_nodes * dim, "buffer does not match shape");
         Self { num_nodes, dim, data }
+    }
+
+    /// Whether the table is borrowed from a mapped store file rather
+    /// than heap-owned.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Embedding dimensionality `d`.
@@ -118,7 +135,7 @@ impl EmbeddingMatrix {
             let u = (next() >> 11) as f32 / (1u64 << 53) as f32;
             data.push((u - 0.5) / self.dim as f32);
         }
-        Self { num_nodes, dim: self.dim, data }
+        Self { num_nodes, dim: self.dim, data: data.into() }
     }
 }
 

@@ -65,6 +65,73 @@ impl Mlp {
         self
     }
 
+    /// Rebuilds a network from explicit parameters — the import path for
+    /// the persistent storage layer, which round-trips a trained model
+    /// through a snapshot file. Shapes are *checked*, not assumed: the
+    /// same chaining and head invariants [`Mlp::new`] constructs must
+    /// hold, or an `Err` comes back (never a panic on file data).
+    pub fn from_parts(
+        weights: Vec<Tensor2>,
+        biases: Vec<Tensor2>,
+        head: OutputHead,
+        residual: bool,
+    ) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("network needs at least one layer".into());
+        }
+        if weights.len() != biases.len() {
+            return Err(format!("{} weight layers but {} bias rows", weights.len(), biases.len()));
+        }
+        for (i, (w, b)) in weights.iter().zip(&biases).enumerate() {
+            if w.rows() == 0 || w.cols() == 0 {
+                return Err(format!("layer {i} has a zero dimension"));
+            }
+            if b.shape() != (1, w.cols()) {
+                return Err(format!(
+                    "layer {i} bias shape {:?} does not match weight columns {}",
+                    b.shape(),
+                    w.cols()
+                ));
+            }
+            if i + 1 < weights.len() && weights[i + 1].rows() != w.cols() {
+                return Err(format!(
+                    "layer {} input width {} does not chain from layer {i} output {}",
+                    i + 1,
+                    weights[i + 1].rows(),
+                    w.cols()
+                ));
+            }
+        }
+        if head == OutputHead::Binary && weights.last().expect("nonempty").cols() != 1 {
+            return Err("binary head needs one output".into());
+        }
+        Ok(Self { weights, biases, head, residual })
+    }
+
+    /// Layer widths including input and output — the `dims` that
+    /// [`Mlp::new`] was (or could have been) called with.
+    pub fn layer_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.weights.len() + 1);
+        dims.push(self.weights[0].rows());
+        dims.extend(self.weights.iter().map(Tensor2::cols));
+        dims
+    }
+
+    /// The per-layer weight matrices (`dims[i] × dims[i+1]`).
+    pub fn weights(&self) -> &[Tensor2] {
+        &self.weights
+    }
+
+    /// The per-layer bias rows (`1 × dims[i+1]`).
+    pub fn biases(&self) -> &[Tensor2] {
+        &self.biases
+    }
+
+    /// Whether residual (skip) connections are enabled.
+    pub fn residual(&self) -> bool {
+        self.residual
+    }
+
     /// Number of weight layers.
     pub fn num_layers(&self) -> usize {
         self.weights.len()

@@ -56,6 +56,21 @@ impl EmbeddingStore {
         Self { current: RwLock::new(Arc::new(ModelSnapshot { version: 1, emb, model })) }
     }
 
+    /// Creates the store with its first snapshot at an explicit version —
+    /// the warm-restart path, where a snapshot loaded from a store file
+    /// must keep serving under the version it was packed with so clients
+    /// (and the restart test) see an identical `"version"` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is 0 (versions are 1-based) or on mismatched
+    /// embedding/model widths (see [`Self::new`]).
+    pub fn with_version(version: u64, emb: EmbeddingMatrix, model: Mlp) -> Self {
+        assert!(version >= 1, "snapshot versions are 1-based");
+        Self::check_dims(&emb, &model);
+        Self { current: RwLock::new(Arc::new(ModelSnapshot { version, emb, model })) }
+    }
+
     fn check_dims(emb: &EmbeddingMatrix, model: &Mlp) {
         assert_eq!(
             model.input_dim(),

@@ -1,0 +1,323 @@
+//! File backing: a read-only byte region that is either memory-mapped
+//! (the fast path — the kernel pages bytes in lazily, so opening a
+//! multi-gigabyte store costs milliseconds) or read into a 64-byte
+//! aligned heap buffer (the portable fallback, and the only path under
+//! miri, which has no OS).
+//!
+//! Both backings guarantee the base address is at least 64-byte aligned
+//! — pages are 4 KiB-aligned and the heap buffer is allocated with an
+//! explicit 64-byte layout — which together with the format's 64-aligned
+//! section offsets makes every section base properly aligned for any
+//! element type the format stores (`u8`/`u32`/`f32`/`u64`/`f64`).
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::StoreError;
+
+/// The mmap syscall path: Linux only, raw syscalls (the workspace is
+/// dependency-free, so no `libc`), and never under miri (no kernel).
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"), not(miri)))]
+mod mmap {
+    use std::arch::asm;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+    /// Pre-fault the whole mapping in one syscall. The open path
+    /// checksums every byte immediately, so demand paging would eat
+    /// tens of thousands of minor faults right after `mmap` returns —
+    /// populating up front is the difference between a ~2 GB/s and a
+    /// memory-bandwidth-bound validation pass.
+    const MAP_POPULATE: usize = 0x8000;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Maps `len` bytes of `fd` read-only. Returns the base address.
+    pub unsafe fn map(fd: i32, len: usize) -> std::io::Result<*const u8> {
+        let flags = MAP_PRIVATE | MAP_POPULATE;
+        let mut ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, flags, fd as usize, 0) };
+        // The kernel signals failure by returning -errno in -4095..0.
+        if (-4095..0).contains(&ret) {
+            // Some filesystems reject MAP_POPULATE; plain demand paging
+            // still beats a full heap copy.
+            ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        }
+        if (-4095..0).contains(&ret) {
+            return Err(std::io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(ret as *const u8)
+    }
+
+    /// Unmaps a region previously returned by [`map`].
+    pub unsafe fn unmap(addr: *const u8, len: usize) {
+        unsafe {
+            let _ = syscall6(SYS_MUNMAP, addr as usize, len, 0, 0, 0, 0);
+        }
+    }
+}
+
+/// A heap buffer whose base address is 64-byte aligned, so the fallback
+/// path satisfies the same alignment contract as a page-aligned mapping.
+struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn new(len: usize) -> Self {
+        // Zero-size allocations are illegal; a 1-byte floor keeps the
+        // pointer real (an empty file still fails header validation
+        // later with a structured Truncated error).
+        let layout = std::alloc::Layout::from_size_align(len.max(1), 64)
+            .expect("64-byte layout for file buffer");
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        assert!(!ptr.is_null(), "allocation of {len}-byte store buffer failed");
+        Self { ptr, len }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = std::alloc::Layout::from_size_align(self.len.max(1), 64)
+            .expect("64-byte layout for file buffer");
+        unsafe { std::alloc::dealloc(self.ptr, layout) };
+    }
+}
+
+// The buffer is plain owned bytes; the raw pointer is an implementation
+// detail of keeping it aligned.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+enum Backing {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    ))]
+    Mapped {
+        base: *const u8,
+        len: usize,
+    },
+    Heap(AlignedBuf),
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64"),
+            not(miri)
+        ))]
+        if let Backing::Mapped { base, len } = *self {
+            unsafe { mmap::unmap(base, len) };
+        }
+    }
+}
+
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+/// An open store file's raw bytes, shareable via `Arc`.
+///
+/// Zero-copy views into the file ([`tgraph::Storage::mapped`] slices)
+/// hold an `Arc<StoreFile>` as their owner, so the mapping outlives
+/// every borrowed slice no matter how callers move the graph or
+/// embedding around.
+pub struct StoreFile {
+    backing: Backing,
+    /// True when the bytes are a live memory mapping rather than a heap
+    /// copy (diagnostic: the zero-copy gate in tests asserts on this).
+    mapped: bool,
+}
+
+impl StoreFile {
+    /// Opens `path` and makes its bytes addressable: mmap where
+    /// available, aligned heap read otherwise. Empty files are accepted
+    /// here (they fail header validation with a structured error).
+    pub fn open(path: &Path) -> Result<Arc<Self>, StoreError> {
+        let mut file = File::open(path)?;
+        let meta = file.metadata()?;
+        if !meta.is_file() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{} is not a regular file", path.display()),
+            )));
+        }
+        let len = meta.len() as usize;
+
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64"),
+            not(miri)
+        ))]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            match unsafe { mmap::map(file.as_raw_fd(), len) } {
+                Ok(base) => {
+                    return Ok(Arc::new(Self {
+                        backing: Backing::Mapped { base, len },
+                        mapped: true,
+                    }));
+                }
+                Err(_) => {
+                    // Fall through to the heap read; some filesystems
+                    // refuse mmap but read fine.
+                }
+            }
+        }
+
+        let mut buf = AlignedBuf::new(len);
+        file.read_exact(buf.as_mut_slice())?;
+        Ok(Arc::new(Self { backing: Backing::Heap(buf), mapped: false }))
+    }
+
+    /// Wraps in-memory bytes (copied into an aligned buffer) — the path
+    /// unit tests and miri use to exercise the full reader without a
+    /// filesystem.
+    pub fn from_bytes(bytes: &[u8]) -> Arc<Self> {
+        let mut buf = AlignedBuf::new(bytes.len());
+        buf.as_mut_slice().copy_from_slice(bytes);
+        Arc::new(Self { backing: Backing::Heap(buf), mapped: false })
+    }
+
+    /// The file's bytes. Base address is always ≥ 64-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(miri)
+            ))]
+            Backing::Mapped { base, len } => unsafe { std::slice::from_raw_parts(*base, *len) },
+            Backing::Heap(buf) => unsafe { std::slice::from_raw_parts(buf.ptr, buf.len) },
+        }
+    }
+
+    /// Whether the bytes are a live memory mapping (vs a heap copy).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+}
+
+impl std::fmt::Debug for StoreFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreFile")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_is_aligned_and_faithful() {
+        let data: Vec<u8> = (0..=200u8).collect();
+        let f = StoreFile::from_bytes(&data);
+        assert_eq!(f.bytes(), &data[..]);
+        assert_eq!(f.bytes().as_ptr() as usize % 64, 0, "base must be 64-aligned");
+        assert!(!f.is_mapped());
+    }
+
+    #[test]
+    fn empty_bytes_are_accepted() {
+        let f = StoreFile::from_bytes(&[]);
+        assert!(f.bytes().is_empty());
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn open_reads_real_files() {
+        let dir = std::env::temp_dir().join(format!("store_file_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("blob.bin");
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).expect("write");
+        let f = StoreFile::open(&path).expect("open");
+        assert_eq!(f.bytes(), &payload[..]);
+        assert_eq!(f.bytes().as_ptr() as usize % 64, 0);
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        assert!(f.is_mapped(), "linux path should mmap");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn open_rejects_directories() {
+        let err = StoreFile::open(&std::env::temp_dir()).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,404 @@
+//! Container reader: validate up front, then hand out borrowed views.
+//!
+//! [`Container::open`] runs the full validation chain once — magic,
+//! header checksum, endianness, version, kind, TOC bounds + checksum,
+//! then every section's alignment, element-size divisibility, file
+//! bounds, name uniqueness, and payload checksum. After that, the typed
+//! accessors are infallible-by-construction slices into the mapping: no
+//! copy, no re-validation, no way to read past the file.
+//!
+//! # Safety argument for the zero-copy views
+//!
+//! A view reinterprets `&[u8]` as `&[T]` for `T ∈ {u8, u32, f32, u64,
+//! f64}`. This is sound because:
+//!
+//! 1. *Alignment*: the mapping base is page-aligned (or 64-aligned on
+//!    the heap path) and every section offset is a validated multiple
+//!    of 64, so the element pointer is aligned for any `T` above.
+//! 2. *Size*: section length is a validated multiple of `elem_size`,
+//!    and the accessor checks the section was written with the same
+//!    `elem_size` it is being read as.
+//! 3. *Validity*: every bit pattern is a valid `u8`/`u32`/`u64`; for
+//!    floats we reinterpret IEEE-754 bits, where every pattern is also
+//!    valid (NaNs included — semantic checks happen in the artifact
+//!    layer, not here). No type with invariants (`bool`, enums,
+//!    references) is ever zero-copy; those are copied through
+//!    validating constructors.
+//! 4. *Lifetime*: views are [`Storage::mapped`] carrying an
+//!    `Arc<StoreFile>` owner, so the mapping cannot be unmapped while
+//!    any view is alive.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tgraph::Storage;
+
+use crate::file::StoreFile;
+use crate::format::{
+    checksum64, ArtifactKind, Checksum, Header, SectionEntry, CHECKSUM_BLOCK, HEADER_LEN,
+    SECTION_ALIGN, TOC_ENTRY_LEN,
+};
+use crate::StoreError;
+
+/// A validated, open store file.
+pub struct Container {
+    file: Arc<StoreFile>,
+    header: Header,
+    sections: Vec<SectionEntry>,
+}
+
+impl Container {
+    /// Opens and fully validates a store file on disk.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::from_file(StoreFile::open(path)?)
+    }
+
+    /// Validates a store image already in memory (tests, miri).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::from_file(StoreFile::from_bytes(bytes))
+    }
+
+    fn from_file(file: Arc<StoreFile>) -> Result<Self, StoreError> {
+        let bytes = file.bytes();
+        let header = Header::decode(bytes)?;
+
+        // TOC: bounds were checked by Header::decode; verify content.
+        let toc_start = header.toc_offset as usize;
+        let toc_len = header.section_count as usize * TOC_ENTRY_LEN;
+        let toc_bytes = &bytes[toc_start..toc_start + toc_len];
+        let mut toc_sum = Checksum::new();
+        toc_sum.update(toc_bytes);
+        let computed = toc_sum.finish();
+        if computed != header.toc_checksum {
+            return Err(StoreError::TocChecksum { stored: header.toc_checksum, computed });
+        }
+
+        let mut sections = Vec::with_capacity(header.section_count as usize);
+        for i in 0..header.section_count as usize {
+            let entry =
+                SectionEntry::decode(&toc_bytes[i * TOC_ENTRY_LEN..(i + 1) * TOC_ENTRY_LEN]);
+            let name = entry.name_str().to_string();
+            if sections.iter().any(|s: &SectionEntry| s.name == entry.name) {
+                return Err(StoreError::DuplicateSection { section: name });
+            }
+            if !entry.offset.is_multiple_of(SECTION_ALIGN as u64) {
+                return Err(StoreError::Misaligned {
+                    section: name,
+                    offset: entry.offset,
+                    multiple_of: SECTION_ALIGN as u64,
+                });
+            }
+            if !matches!(entry.elem_size, 1 | 4 | 8) {
+                return Err(StoreError::Invalid {
+                    what: format!("section {name:?}"),
+                    message: format!("element size {} is not 1, 4, or 8", entry.elem_size),
+                });
+            }
+            if !entry.len.is_multiple_of(entry.elem_size as u64) {
+                return Err(StoreError::Misaligned {
+                    section: name,
+                    offset: entry.len,
+                    multiple_of: entry.elem_size as u64,
+                });
+            }
+            let end =
+                entry.offset.checked_add(entry.len).ok_or_else(|| StoreError::OutOfBounds {
+                    section: name.clone(),
+                    offset: entry.offset,
+                    len: entry.len,
+                    file_len: header.file_len,
+                })?;
+            // Sections live strictly between the header and the TOC.
+            if entry.offset < HEADER_LEN as u64 || end > header.toc_offset {
+                return Err(StoreError::OutOfBounds {
+                    section: name,
+                    offset: entry.offset,
+                    len: entry.len,
+                    file_len: header.file_len,
+                });
+            }
+            sections.push(entry);
+        }
+
+        // Payload checksums last: the structural pass above proved every
+        // range in bounds, so the reads below cannot escape the file.
+        // Section digests are block-chained (format::BlockChecksum), so
+        // the unit of work here is one CHECKSUM_BLOCK, not one section —
+        // a single huge CSR array still spreads across every core. Small
+        // images (and the miri corpus) stay on the serial path.
+        const PARALLEL_MIN_BYTES: u64 = 4 << 20;
+        let mut blocks: Vec<(usize, usize)> = Vec::new(); // (byte start, byte len)
+        let mut block_starts = Vec::with_capacity(sections.len() + 1);
+        for entry in &sections {
+            block_starts.push(blocks.len());
+            let (start, len) = (entry.offset as usize, entry.len as usize);
+            let mut off = 0;
+            while off < len {
+                let take = (len - off).min(CHECKSUM_BLOCK);
+                blocks.push((start + off, take));
+                off += take;
+            }
+        }
+        block_starts.push(blocks.len());
+        let mut digests = vec![0u64; blocks.len()];
+        let digest = |&(start, len): &(usize, usize)| checksum64(&bytes[start..start + len]);
+        if sections.iter().map(|s| s.len).sum::<u64>() >= PARALLEL_MIN_BYTES {
+            let cfg = par::ParConfig::default().chunk_size(1);
+            par::parallel_for(&cfg, &mut digests, |i, d| *d = digest(&blocks[i]));
+        } else {
+            for (d, block) in digests.iter_mut().zip(&blocks) {
+                *d = digest(block);
+            }
+        }
+        // Chain each section's block digests and compare, in TOC order.
+        for (i, entry) in sections.iter().enumerate() {
+            let mut chain = Checksum::new();
+            for d in &digests[block_starts[i]..block_starts[i + 1]] {
+                chain.update(&d.to_le_bytes());
+            }
+            let computed = chain.finish();
+            if computed != entry.checksum {
+                return Err(StoreError::SectionChecksum {
+                    section: entry.name_str().to_string(),
+                    stored: entry.checksum,
+                    computed,
+                });
+            }
+        }
+
+        Ok(Self { file, header, sections })
+    }
+
+    /// The artifact kind this file holds.
+    pub fn kind(&self) -> ArtifactKind {
+        self.header.kind
+    }
+
+    /// Errors unless the file holds `expected`.
+    pub fn expect_kind(&self, expected: ArtifactKind) -> Result<(), StoreError> {
+        if self.header.kind != expected {
+            return Err(StoreError::WrongKind {
+                expected: expected.name(),
+                found: self.header.kind.name(),
+            });
+        }
+        Ok(())
+    }
+
+    /// All validated section entries, in file order.
+    pub fn sections(&self) -> &[SectionEntry] {
+        &self.sections
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.header.file_len
+    }
+
+    /// Whether the payload is a live memory mapping (vs heap bytes).
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
+    }
+
+    /// The shared file handle (the `owner` for zero-copy views).
+    pub fn file(&self) -> &Arc<StoreFile> {
+        &self.file
+    }
+
+    fn entry(&self, name: &str) -> Result<&SectionEntry, StoreError> {
+        self.sections
+            .iter()
+            .find(|s| s.name_str() == name)
+            .ok_or_else(|| StoreError::MissingSection { section: name.into() })
+    }
+
+    /// True if the file contains a section with this name.
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|s| s.name_str() == name)
+    }
+
+    /// A section's raw bytes (validated range, borrowed from the map).
+    pub fn section_bytes(&self, name: &str) -> Result<&[u8], StoreError> {
+        let e = self.entry(name)?;
+        Ok(&self.file.bytes()[e.offset as usize..(e.offset + e.len) as usize])
+    }
+
+    fn typed_ptr(&self, name: &str, elem_size: u32) -> Result<(*const u8, usize), StoreError> {
+        let e = self.entry(name)?;
+        if e.elem_size != elem_size {
+            return Err(StoreError::Invalid {
+                what: format!("section {name:?}"),
+                message: format!(
+                    "written with {}-byte elements, read as {}-byte",
+                    e.elem_size, elem_size
+                ),
+            });
+        }
+        let ptr = unsafe { self.file.bytes().as_ptr().add(e.offset as usize) };
+        debug_assert_eq!(ptr as usize % elem_size as usize, 0, "validated alignment");
+        Ok((ptr, (e.len / elem_size as u64) as usize))
+    }
+
+    /// Zero-copy `u64` view of a section.
+    pub fn u64s(&self, name: &str) -> Result<Storage<u64>, StoreError> {
+        let (ptr, len) = self.typed_ptr(name, 8)?;
+        Ok(unsafe { Storage::mapped(ptr as *const u64, len, Arc::clone(&self.file) as _) })
+    }
+
+    /// Zero-copy `usize` view of a section stored as on-disk `u64`.
+    ///
+    /// On 64-bit targets this reinterprets in place; elsewhere it
+    /// copy-converts (with a bounds check) — the format itself is
+    /// pointer-width independent.
+    pub fn usizes(&self, name: &str) -> Result<Storage<usize>, StoreError> {
+        #[cfg(target_pointer_width = "64")]
+        {
+            let (ptr, len) = self.typed_ptr(name, 8)?;
+            Ok(unsafe { Storage::mapped(ptr as *const usize, len, Arc::clone(&self.file) as _) })
+        }
+        #[cfg(not(target_pointer_width = "64"))]
+        {
+            let words = self.u64s(name)?;
+            let mut out = Vec::with_capacity(words.len());
+            for &w in words.iter() {
+                let v = usize::try_from(w).map_err(|_| StoreError::Invalid {
+                    what: format!("section {name:?}"),
+                    message: format!("value {w} overflows usize on this target"),
+                })?;
+                out.push(v);
+            }
+            Ok(Storage::owned(out))
+        }
+    }
+
+    /// Zero-copy `u32` view of a section.
+    pub fn u32s(&self, name: &str) -> Result<Storage<u32>, StoreError> {
+        let (ptr, len) = self.typed_ptr(name, 4)?;
+        Ok(unsafe { Storage::mapped(ptr as *const u32, len, Arc::clone(&self.file) as _) })
+    }
+
+    /// Zero-copy `f64` view of a section (raw IEEE-754 bits).
+    pub fn f64s(&self, name: &str) -> Result<Storage<f64>, StoreError> {
+        let (ptr, len) = self.typed_ptr(name, 8)?;
+        Ok(unsafe { Storage::mapped(ptr as *const f64, len, Arc::clone(&self.file) as _) })
+    }
+
+    /// Zero-copy `f32` view of a section (raw IEEE-754 bits).
+    pub fn f32s(&self, name: &str) -> Result<Storage<f32>, StoreError> {
+        let (ptr, len) = self.typed_ptr(name, 4)?;
+        Ok(unsafe { Storage::mapped(ptr as *const f32, len, Arc::clone(&self.file) as _) })
+    }
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Container")
+            .field("kind", &self.header.kind)
+            .field("file_len", &self.header.file_len)
+            .field(
+                "sections",
+                &self.sections.iter().map(|s| s.name_str().to_string()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StoreWriter;
+    use std::io::Cursor;
+
+    fn build_sample() -> Vec<u8> {
+        let mut cur = Cursor::new(Vec::new());
+        {
+            let mut w = StoreWriter::new(&mut cur, ArtifactKind::Graph).expect("writer");
+            w.begin_section("meta", 8).expect("begin");
+            w.write_u64s(&[4, 9]).expect("meta");
+            w.end_section().expect("end");
+            w.begin_section("offs", 8).expect("begin");
+            w.write_usizes(&[0, 2, 5, 7, 9]).expect("offs");
+            w.end_section().expect("end");
+            w.begin_section("vals", 8).expect("begin");
+            w.write_f64s(&[1.5, -2.5, f64::INFINITY, 0.0, 3.25, 4.0, 5.0, 6.0, 7.0]).expect("vals");
+            w.end_section().expect("end");
+            w.begin_section("ids", 4).expect("begin");
+            w.write_u32s(&[9, 8, 7, 6, 5, 4, 3, 2, 1]).expect("ids");
+            w.end_section().expect("end");
+            w.finish().expect("finish");
+        }
+        cur.into_inner()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_section() {
+        let bytes = build_sample();
+        let c = Container::from_bytes(&bytes).expect("open");
+        assert_eq!(c.kind(), ArtifactKind::Graph);
+        assert_eq!(c.sections().len(), 4);
+        assert_eq!(&*c.u64s("meta").expect("meta"), &[4, 9]);
+        assert_eq!(&*c.usizes("offs").expect("offs"), &[0, 2, 5, 7, 9]);
+        let vals = c.f64s("vals").expect("vals");
+        assert_eq!(vals[0], 1.5);
+        assert!(vals[2].is_infinite());
+        assert_eq!(&*c.u32s("ids").expect("ids"), &[9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        assert!(c.has_section("ids") && !c.has_section("nope"));
+    }
+
+    #[test]
+    fn wrong_elem_size_read_is_rejected() {
+        let bytes = build_sample();
+        let c = Container::from_bytes(&bytes).expect("open");
+        assert!(matches!(c.u32s("meta"), Err(StoreError::Invalid { .. })));
+        assert!(matches!(c.u64s("ids"), Err(StoreError::Invalid { .. })));
+    }
+
+    #[test]
+    fn missing_section_is_structured() {
+        let bytes = build_sample();
+        let c = Container::from_bytes(&bytes).expect("open");
+        assert!(matches!(c.u64s("ghost"), Err(StoreError::MissingSection { .. })));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_caught_at_open() {
+        let bytes = build_sample();
+        // Flip one bit in the first payload section (offset 64).
+        let mut bad = bytes.clone();
+        bad[64] ^= 0x01;
+        assert!(matches!(Container::from_bytes(&bad), Err(StoreError::SectionChecksum { .. })));
+    }
+
+    #[test]
+    fn toc_bit_flip_is_caught_at_open() {
+        let bytes = build_sample();
+        let c = Container::from_bytes(&bytes).expect("open");
+        let toc_off = (c.file_len() - (c.sections().len() * TOC_ENTRY_LEN) as u64) as usize;
+        drop(c);
+        let mut bad = bytes.clone();
+        bad[toc_off + 8] ^= 0x01; // first entry's offset field
+        assert!(matches!(Container::from_bytes(&bad), Err(StoreError::TocChecksum { .. })));
+    }
+
+    #[test]
+    fn truncation_is_caught_at_open() {
+        let bytes = build_sample();
+        for cut in [0, 1, 63, 64, 65, bytes.len() / 2, bytes.len() - 1] {
+            let err = Container::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. } | StoreError::HeaderChecksum { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn views_keep_the_file_alive() {
+        let bytes = build_sample();
+        let c = Container::from_bytes(&bytes).expect("open");
+        let meta = c.u64s("meta").expect("meta");
+        drop(c);
+        // The Storage still owns an Arc to the file's bytes.
+        assert_eq!(&*meta, &[4, 9]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Model-snapshot artifact: the serving state — embedding table, link
+//! FNN, and publish version — packed so a restarted server answers its
+//! first query without retraining.
+//!
+//! Sections (`kind = Snapshot`):
+//!
+//! | name   | elem | contents                                           |
+//! |--------|------|----------------------------------------------------|
+//! | `meta` | u64  | `[version, num_nodes, dim, head_tag, residual, L]`  |
+//! | `mdim` | u64  | MLP layer widths, `L + 1` entries                   |
+//! | `embd` | f32  | embedding table, `num_nodes · dim` row-major        |
+//! | `mwts` | f32  | MLP params: `W0, b0, W1, b1, …` concatenated        |
+//!
+//! `head_tag` is 0 = binary (link prediction), 1 = multi-class. The
+//! embedding table — the only large array — loads zero-copy from the
+//! mapping; the MLP weights (a few KiB) are copied through
+//! [`Mlp::from_parts`], which re-validates the layer chaining.
+
+use std::io::{Seek, Write};
+use std::path::Path;
+
+use embed::EmbeddingMatrix;
+use nn::{Mlp, OutputHead, Tensor2};
+
+use crate::format::ArtifactKind;
+use crate::reader::Container;
+use crate::writer::StoreWriter;
+use crate::StoreError;
+
+const HEAD_BINARY: u64 = 0;
+const HEAD_MULTICLASS: u64 = 1;
+
+/// Packs one served model version into `out`. Returns the file length.
+pub fn pack_snapshot<W: Write + Seek>(
+    out: W,
+    version: u64,
+    emb: &EmbeddingMatrix,
+    model: &Mlp,
+) -> Result<u64, StoreError> {
+    if version == 0 {
+        return Err(StoreError::Invalid {
+            what: "snapshot".into(),
+            message: "versions are 1-based; 0 is not a publishable version".into(),
+        });
+    }
+    let dims = model.layer_dims();
+    let head_tag = match model.head() {
+        OutputHead::Binary => HEAD_BINARY,
+        OutputHead::MultiClass => HEAD_MULTICLASS,
+    };
+
+    let mut w = StoreWriter::new(out, ArtifactKind::Snapshot)?;
+
+    w.begin_section("meta", 8)?;
+    w.write_u64s(&[
+        version,
+        emb.num_nodes() as u64,
+        emb.dim() as u64,
+        head_tag,
+        model.residual() as u64,
+        (dims.len() - 1) as u64,
+    ])?;
+    w.end_section()?;
+
+    w.begin_section("mdim", 8)?;
+    w.write_usizes(&dims)?;
+    w.end_section()?;
+
+    w.begin_section("embd", 4)?;
+    w.write_f32s(emb.as_slice())?;
+    w.end_section()?;
+
+    w.begin_section("mwts", 4)?;
+    for (wt, b) in model.weights().iter().zip(model.biases()) {
+        w.write_f32s(wt.as_slice())?;
+        w.write_f32s(b.as_slice())?;
+    }
+    w.end_section()?;
+
+    w.finish()
+}
+
+/// Packs to a file path (buffered), creating or truncating it.
+pub fn pack_snapshot_to_path(
+    path: &Path,
+    version: u64,
+    emb: &EmbeddingMatrix,
+    model: &Mlp,
+) -> Result<u64, StoreError> {
+    let file = std::fs::File::create(path)?;
+    pack_snapshot(std::io::BufWriter::new(file), version, emb, model)
+}
+
+/// A model snapshot opened from a store file. The embedding table
+/// borrows the mapping zero-copy; the MLP is reconstructed (copied and
+/// re-validated — its few KiB don't justify unsafe adoption).
+#[derive(Debug)]
+pub struct OpenedSnapshot {
+    /// The publish version the snapshot was packed with.
+    pub version: u64,
+    /// The embedding table.
+    pub emb: EmbeddingMatrix,
+    /// The link/classification FNN.
+    pub model: Mlp,
+    /// Whether the backing bytes are a live memory mapping.
+    pub mapped: bool,
+    /// Total store file length in bytes.
+    pub file_len: u64,
+}
+
+/// Opens a packed snapshot from disk (mmap fast path).
+pub fn open_snapshot(path: &Path) -> Result<OpenedSnapshot, StoreError> {
+    let span = obs::Recorder::global().span("store_load_ns{kind=\"snapshot\"}");
+    let out = open_snapshot_container(Container::open(path)?);
+    drop(span);
+    out
+}
+
+/// Opens a packed snapshot from an in-memory image (tests, miri).
+pub fn open_snapshot_bytes(bytes: &[u8]) -> Result<OpenedSnapshot, StoreError> {
+    open_snapshot_container(Container::from_bytes(bytes)?)
+}
+
+fn open_snapshot_container(c: Container) -> Result<OpenedSnapshot, StoreError> {
+    c.expect_kind(ArtifactKind::Snapshot)?;
+    crate::record_section_metrics(&c);
+    let invalid = |what: &str, message: String| StoreError::Invalid { what: what.into(), message };
+
+    let meta = c.u64s("meta")?;
+    if meta.len() != 6 {
+        return Err(invalid("snapshot meta", format!("expected 6 words, found {}", meta.len())));
+    }
+    let version = meta[0];
+    if version == 0 {
+        return Err(invalid("snapshot meta", "version 0 is not valid (1-based)".into()));
+    }
+    let (n, dim) = (meta[1] as usize, meta[2] as usize);
+    let head = match meta[3] {
+        HEAD_BINARY => OutputHead::Binary,
+        HEAD_MULTICLASS => OutputHead::MultiClass,
+        other => return Err(invalid("snapshot meta", format!("unknown head tag {other}"))),
+    };
+    let residual = meta[4] != 0;
+    let num_layers = meta[5] as usize;
+
+    let dims = c.usizes("mdim")?;
+    if dims.len() != num_layers + 1 {
+        return Err(invalid(
+            "snapshot layers",
+            format!("meta says {num_layers} layers but mdim has {} widths", dims.len()),
+        ));
+    }
+
+    let table = c.f32s("embd")?;
+    let expect = n
+        .checked_mul(dim)
+        .ok_or_else(|| invalid("embedding table", format!("{n} x {dim} overflows")))?;
+    if table.len() != expect {
+        return Err(invalid(
+            "embedding table",
+            format!("expected {n} x {dim} = {expect} floats, found {}", table.len()),
+        ));
+    }
+    let emb = EmbeddingMatrix::from_storage(n, dim, table);
+
+    let params = c.f32s("mwts")?;
+    let mut weights = Vec::with_capacity(num_layers);
+    let mut biases = Vec::with_capacity(num_layers);
+    let mut pos = 0usize;
+    for i in 0..num_layers {
+        let (rows, cols) = (dims[i], dims[i + 1]);
+        let w_len = rows.checked_mul(cols).ok_or_else(|| {
+            invalid("model weights", format!("layer {i} {rows} x {cols} overflows"))
+        })?;
+        let end = pos + w_len + cols;
+        if end > params.len() {
+            return Err(invalid(
+                "model weights",
+                format!(
+                    "layer {i} needs {} floats at {pos} but only {} remain",
+                    w_len + cols,
+                    params.len() - pos
+                ),
+            ));
+        }
+        weights.push(Tensor2::from_vec(rows, cols, params[pos..pos + w_len].to_vec()));
+        biases.push(Tensor2::from_vec(1, cols, params[pos + w_len..end].to_vec()));
+        pos = end;
+    }
+    if pos != params.len() {
+        return Err(invalid(
+            "model weights",
+            format!("{} trailing floats after the last layer", params.len() - pos),
+        ));
+    }
+    let model =
+        Mlp::from_parts(weights, biases, head, residual).map_err(|e| invalid("model", e))?;
+
+    Ok(OpenedSnapshot { version, emb, model, mapped: c.is_mapped(), file_len: c.file_len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> (EmbeddingMatrix, Mlp) {
+        let n = 13;
+        let d = 4;
+        let data: Vec<f32> = (0..n * d).map(|i| (i as f32).sin()).collect();
+        let emb = EmbeddingMatrix::from_vec(n, d, data);
+        let mlp = Mlp::new(&[2 * d, 16, 1], OutputHead::Binary, 77);
+        (emb, mlp)
+    }
+
+    fn pack_bytes(version: u64, emb: &EmbeddingMatrix, mlp: &Mlp) -> Vec<u8> {
+        let mut cur = Cursor::new(Vec::new());
+        pack_snapshot(&mut cur, version, emb, mlp).expect("pack");
+        cur.into_inner()
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let (emb, mlp) = sample();
+        let opened = open_snapshot_bytes(&pack_bytes(42, &emb, &mlp)).expect("open");
+        assert_eq!(opened.version, 42);
+        assert_eq!(opened.emb.num_nodes(), emb.num_nodes());
+        assert_eq!(opened.emb.dim(), emb.dim());
+        let b1: Vec<u32> = emb.as_slice().iter().map(|x| x.to_bits()).collect();
+        let b2: Vec<u32> = opened.emb.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(b1, b2);
+        assert_eq!(opened.model.layer_dims(), mlp.layer_dims());
+        assert_eq!(opened.model.residual(), mlp.residual());
+        for (a, b) in mlp.weights().iter().zip(opened.model.weights()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        for (a, b) in mlp.biases().iter().zip(opened.model.biases()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn predictions_are_identical_after_reload() {
+        let (emb, mlp) = sample();
+        let opened = open_snapshot_bytes(&pack_bytes(1, &emb, &mlp)).expect("open");
+        let x = Tensor2::from_vec(2, 8, (0..16).map(|i| i as f32 * 0.1).collect());
+        assert_eq!(mlp.predict_proba(&x), opened.model.predict_proba(&x));
+    }
+
+    #[test]
+    fn version_zero_is_rejected_both_ways() {
+        let (emb, mlp) = sample();
+        let mut cur = Cursor::new(Vec::new());
+        assert!(matches!(pack_snapshot(&mut cur, 0, &emb, &mlp), Err(StoreError::Invalid { .. })));
+    }
+
+    #[test]
+    fn graph_file_is_rejected_as_snapshot() {
+        let g = tgraph::gen::erdos_renyi(20, 60, 3).build();
+        let mut cur = Cursor::new(Vec::new());
+        crate::pack_graph(&mut cur, &g, None).expect("pack graph");
+        let err = open_snapshot_bytes(&cur.into_inner()).unwrap_err();
+        assert!(matches!(err, StoreError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn truncated_weight_stream_is_rejected() {
+        let (emb, mlp) = sample();
+        let bytes = pack_bytes(1, &emb, &mlp);
+        // Rewrite meta to claim an extra layer; checksums force us to go
+        // through the writer, so instead corrupt mdim consistency by
+        // packing mismatched parts directly.
+        let c = Container::from_bytes(&bytes).expect("open");
+        assert_eq!(c.kind(), ArtifactKind::Snapshot);
+        drop(c);
+        // Simpler: a model whose mwts section is short. Build by hand.
+        let mut cur = Cursor::new(Vec::new());
+        {
+            let mut w = StoreWriter::new(&mut cur, ArtifactKind::Snapshot).expect("writer");
+            w.begin_section("meta", 8).expect("b");
+            w.write_u64s(&[1, 2, 2, 0, 0, 1]).expect("w");
+            w.end_section().expect("e");
+            w.begin_section("mdim", 8).expect("b");
+            w.write_u64s(&[4, 1]).expect("w");
+            w.end_section().expect("e");
+            w.begin_section("embd", 4).expect("b");
+            w.write_f32s(&[0.0; 4]).expect("w");
+            w.end_section().expect("e");
+            w.begin_section("mwts", 4).expect("b");
+            w.write_f32s(&[0.5; 3]).expect("w"); // needs 4 + 1 = 5
+            w.end_section().expect("e");
+            w.finish().expect("finish");
+        }
+        let err = open_snapshot_bytes(&cur.into_inner()).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! Streaming container writer.
+//!
+//! Sections are written in one forward pass — begin, stream chunks, end
+//! — with the checksum folded as bytes go by, so packing never holds a
+//! serialized copy of the payload in memory (the "never 2× RAM" rule:
+//! the only buffering is the caller's own chunking). The TOC goes after
+//! the last section and the header is patched by one backward seek in
+//! [`StoreWriter::finish`].
+
+use std::io::{Seek, SeekFrom, Write};
+
+use crate::format::{
+    align_up, section_name, ArtifactKind, BlockChecksum, Checksum, Header, SectionEntry,
+    HEADER_LEN, SECTION_ALIGN,
+};
+use crate::StoreError;
+
+/// Writes one container file section by section.
+///
+/// Generic over `Write + Seek` so tests (and miri) can target a
+/// `Cursor<Vec<u8>>` while the CLI targets a real file.
+pub struct StoreWriter<W: Write + Seek> {
+    out: W,
+    kind: ArtifactKind,
+    /// Bytes written so far (== current stream position).
+    pos: u64,
+    sections: Vec<SectionEntry>,
+    /// In-flight section state: (name, elem_size, running checksum, len).
+    open: Option<(String, u32, BlockChecksum, u64)>,
+    finished: bool,
+}
+
+impl<W: Write + Seek> StoreWriter<W> {
+    /// Starts a container of the given kind; writes a placeholder header
+    /// immediately (patched with real values in [`Self::finish`]).
+    pub fn new(mut out: W, kind: ArtifactKind) -> Result<Self, StoreError> {
+        out.write_all(&[0u8; HEADER_LEN])?;
+        Ok(Self {
+            out,
+            kind,
+            pos: HEADER_LEN as u64,
+            sections: Vec::new(),
+            open: None,
+            finished: false,
+        })
+    }
+
+    /// Opens a section. `name` must be unique within the file and at
+    /// most 8 ASCII bytes; `elem_size` is the element width the payload
+    /// will be reinterpreted as on read (1, 4, or 8).
+    pub fn begin_section(&mut self, name: &str, elem_size: u32) -> Result<(), StoreError> {
+        assert!(self.open.is_none(), "begin_section while a section is open");
+        assert!(!self.finished, "begin_section after finish");
+        if self.sections.iter().any(|s| s.name_str() == name) {
+            return Err(StoreError::DuplicateSection { section: name.into() });
+        }
+        self.pad_to_alignment()?;
+        self.open = Some((name.to_string(), elem_size, BlockChecksum::new(), 0));
+        Ok(())
+    }
+
+    /// Streams payload bytes into the open section.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let (_, _, checksum, len) = self.open.as_mut().expect("write_bytes with no open section");
+        checksum.update(bytes);
+        *len += bytes.len() as u64;
+        self.out.write_all(bytes)?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Streams a `u64` slice (little-endian) into the open section,
+    /// encoding through a fixed 8 KiB stack chunk.
+    pub fn write_u64s(&mut self, values: &[u64]) -> Result<(), StoreError> {
+        let mut chunk = [0u8; 8192];
+        for group in values.chunks(chunk.len() / 8) {
+            for (i, v) in group.iter().enumerate() {
+                chunk[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&chunk[..group.len() * 8])?;
+        }
+        Ok(())
+    }
+
+    /// Streams a `usize` slice as on-disk `u64`s.
+    pub fn write_usizes(&mut self, values: &[usize]) -> Result<(), StoreError> {
+        let mut chunk = [0u8; 8192];
+        for group in values.chunks(chunk.len() / 8) {
+            for (i, v) in group.iter().enumerate() {
+                chunk[i * 8..i * 8 + 8].copy_from_slice(&(*v as u64).to_le_bytes());
+            }
+            self.write_bytes(&chunk[..group.len() * 8])?;
+        }
+        Ok(())
+    }
+
+    /// Streams a `u32` slice (little-endian) into the open section.
+    pub fn write_u32s(&mut self, values: &[u32]) -> Result<(), StoreError> {
+        let mut chunk = [0u8; 8192];
+        for group in values.chunks(chunk.len() / 4) {
+            for (i, v) in group.iter().enumerate() {
+                chunk[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&chunk[..group.len() * 4])?;
+        }
+        Ok(())
+    }
+
+    /// Streams an `f64` slice (IEEE-754 bits, little-endian).
+    pub fn write_f64s(&mut self, values: &[f64]) -> Result<(), StoreError> {
+        let mut chunk = [0u8; 8192];
+        for group in values.chunks(chunk.len() / 8) {
+            for (i, v) in group.iter().enumerate() {
+                chunk[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&chunk[..group.len() * 8])?;
+        }
+        Ok(())
+    }
+
+    /// Streams an `f32` slice (IEEE-754 bits, little-endian).
+    pub fn write_f32s(&mut self, values: &[f32]) -> Result<(), StoreError> {
+        let mut chunk = [0u8; 8192];
+        for group in values.chunks(chunk.len() / 4) {
+            for (i, v) in group.iter().enumerate() {
+                chunk[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&chunk[..group.len() * 4])?;
+        }
+        Ok(())
+    }
+
+    /// Closes the open section, recording its TOC entry.
+    pub fn end_section(&mut self) -> Result<(), StoreError> {
+        let (name, elem_size, checksum, len) =
+            self.open.take().expect("end_section with no open section");
+        if len % elem_size as u64 != 0 {
+            return Err(StoreError::Misaligned {
+                section: name,
+                offset: len,
+                multiple_of: elem_size as u64,
+            });
+        }
+        self.sections.push(SectionEntry {
+            name: section_name(&name),
+            offset: self.pos - len,
+            len,
+            elem_size,
+            checksum: checksum.finish(),
+        });
+        Ok(())
+    }
+
+    /// Convenience: a whole section in one call.
+    pub fn section_bytes(
+        &mut self,
+        name: &str,
+        elem_size: u32,
+        bytes: &[u8],
+    ) -> Result<(), StoreError> {
+        self.begin_section(name, elem_size)?;
+        self.write_bytes(bytes)?;
+        self.end_section()
+    }
+
+    /// Writes the TOC, patches the header, and flushes. Returns the
+    /// total file length.
+    pub fn finish(mut self) -> Result<u64, StoreError> {
+        assert!(self.open.is_none(), "finish with a section still open");
+        self.pad_to_alignment()?;
+        let toc_offset = self.pos;
+        let mut toc_sum = Checksum::new();
+        for entry in &self.sections {
+            let encoded = entry.encode();
+            toc_sum.update(&encoded);
+            self.out.write_all(&encoded)?;
+            self.pos += encoded.len() as u64;
+        }
+        let header = Header {
+            kind: self.kind,
+            section_count: self.sections.len() as u32,
+            toc_offset,
+            file_len: self.pos,
+            toc_checksum: toc_sum.finish(),
+        };
+        self.out.seek(SeekFrom::Start(0))?;
+        self.out.write_all(&header.encode())?;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(header.file_len)
+    }
+
+    fn pad_to_alignment(&mut self) -> Result<(), StoreError> {
+        let target = align_up(self.pos);
+        let pad = (target - self.pos) as usize;
+        if pad > 0 {
+            self.out.write_all(&[0u8; SECTION_ALIGN][..pad])?;
+            self.pos = target;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn sections_land_on_aligned_offsets() {
+        let mut w = StoreWriter::new(Cursor::new(Vec::new()), ArtifactKind::Graph).expect("writer");
+        w.section_bytes("a", 1, &[1, 2, 3]).expect("a");
+        w.section_bytes("b", 8, &[0u8; 24]).expect("b");
+        let file_len = w.finish().expect("finish");
+        assert_eq!(file_len % 8, 0);
+        // a at 64 (3 bytes), b at 128, toc at 192.
+        assert_eq!(file_len, 192 + 2 * 40);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut w = StoreWriter::new(Cursor::new(Vec::new()), ArtifactKind::Graph).expect("writer");
+        w.section_bytes("meta", 8, &[0u8; 8]).expect("first");
+        let err = w.begin_section("meta", 8).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateSection { .. }));
+    }
+
+    #[test]
+    fn length_not_multiple_of_elem_size_is_rejected() {
+        let mut w = StoreWriter::new(Cursor::new(Vec::new()), ArtifactKind::Graph).expect("writer");
+        w.begin_section("odd", 8).expect("begin");
+        w.write_bytes(&[0u8; 7]).expect("write");
+        let err = w.end_section().unwrap_err();
+        assert!(matches!(err, StoreError::Misaligned { .. }));
+    }
+
+    #[test]
+    fn typed_writers_encode_little_endian() {
+        let mut w = StoreWriter::new(Cursor::new(Vec::new()), ArtifactKind::Graph).expect("writer");
+        w.begin_section("t", 8).expect("begin");
+        w.write_u64s(&[0x0102030405060708]).expect("u64s");
+        w.end_section().expect("end");
+        let _ = w.finish().expect("finish");
+        // Verified structurally via the reader round-trip tests; here we
+        // only assert the call path works across chunk boundaries.
+        let mut w2 =
+            StoreWriter::new(Cursor::new(Vec::new()), ArtifactKind::Graph).expect("writer");
+        w2.begin_section("big", 8).expect("begin");
+        let vals: Vec<u64> = (0..5000).collect();
+        w2.write_u64s(&vals).expect("write");
+        w2.end_section().expect("end");
+        let _ = w2.finish().expect("finish");
+    }
+}

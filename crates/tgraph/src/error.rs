@@ -21,6 +21,12 @@ pub enum TGraphError {
     },
     /// The graph was empty where a non-empty graph is required.
     EmptyGraph,
+    /// Externally supplied CSR arrays (e.g. from a store file) violate a
+    /// structural invariant of [`crate::TemporalGraph`].
+    InvalidCsr {
+        /// Which invariant failed, with positions attached.
+        message: String,
+    },
 }
 
 impl fmt::Display for TGraphError {
@@ -34,6 +40,7 @@ impl fmt::Display for TGraphError {
                 write!(f, "non-finite timestamp on edge {edge_index}")
             }
             TGraphError::EmptyGraph => write!(f, "graph has no edges"),
+            TGraphError::InvalidCsr { message } => write!(f, "invalid CSR arrays: {message}"),
         }
     }
 }

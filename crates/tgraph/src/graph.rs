@@ -1,6 +1,6 @@
 //! CSR temporal graph (the paper's `WGraph` analog).
 
-use crate::{NodeId, TemporalEdge, Time};
+use crate::{NodeId, Storage, TemporalEdge, Time};
 
 /// A directed temporal graph in CSR form with timestamp-sorted adjacency.
 ///
@@ -14,19 +14,132 @@ use crate::{NodeId, TemporalEdge, Time};
 /// Multi-edges (same endpoints, different timestamps) are preserved, as the
 /// paper requires for modeling repeated interactions.
 ///
-/// Construct via [`crate::GraphBuilder`].
+/// Construct via [`crate::GraphBuilder`], or — for arrays borrowed from
+/// a mapped store file — via [`TemporalGraph::from_csr_parts`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TemporalGraph {
-    offsets: Vec<usize>,
-    dsts: Vec<NodeId>,
-    times: Vec<Time>,
+    offsets: Storage<usize>,
+    dsts: Storage<NodeId>,
+    times: Storage<Time>,
 }
 
 impl TemporalGraph {
     pub(crate) fn from_csr(offsets: Vec<usize>, dsts: Vec<NodeId>, times: Vec<Time>) -> Self {
         debug_assert_eq!(*offsets.last().unwrap_or(&0), dsts.len());
         debug_assert_eq!(dsts.len(), times.len());
-        Self { offsets, dsts, times }
+        Self { offsets: offsets.into(), dsts: dsts.into(), times: times.into() }
+    }
+
+    /// Builds a graph directly from CSR arrays — the entry point for the
+    /// persistent storage layer, which hands in [`Storage::Mapped`] views
+    /// borrowed from an opened store file instead of rebuilding from an
+    /// edge list.
+    ///
+    /// Unlike [`crate::GraphBuilder`] (which constructs the invariants),
+    /// this *checks* them, because the arrays come from outside the
+    /// builder: `offsets` must be non-empty, start at 0, be
+    /// nondecreasing, and end at `dsts.len()`; `dsts` and `times` must be
+    /// parallel; every destination must be `< num_nodes`; every timestamp
+    /// must be finite; and each vertex segment must be time-sorted
+    /// ascending. Any violation is a [`TGraphError::InvalidCsr`] — never
+    /// a panic later in the walk kernel.
+    pub fn from_csr_parts(
+        offsets: Storage<usize>,
+        dsts: Storage<NodeId>,
+        times: Storage<Time>,
+    ) -> Result<Self, crate::TGraphError> {
+        let invalid = |message: String| crate::TGraphError::InvalidCsr { message };
+        if offsets.is_empty() {
+            return Err(invalid("offsets array is empty".into()));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!("offsets[0] is {}, expected 0", offsets[0])));
+        }
+        if dsts.len() != times.len() {
+            return Err(invalid(format!(
+                "dsts/times length mismatch: {} vs {}",
+                dsts.len(),
+                times.len()
+            )));
+        }
+        let n = offsets.len() - 1;
+        let m = dsts.len();
+        if offsets[n] != m {
+            return Err(invalid(format!("offsets end at {}, expected {m} edges", offsets[n])));
+        }
+        // The remaining invariants are all per-vertex-segment, so they
+        // fuse into one pass over the edge arrays instead of four. The
+        // pass parallelizes across vertex ranges for large graphs — this
+        // sits on the store layer's warm-restart critical path, where a
+        // serial scan of a hundred-MB CSR would rival the cost of the
+        // checksums — and stays serial for small inputs (and under test
+        // interpreters where spawning threads dwarfs the scan).
+        let scan_range = |v0: usize, v1: usize| -> Option<(usize, String)> {
+            for v in v0..v1 {
+                let (s, e) = (offsets[v], offsets[v + 1]);
+                if s > e {
+                    return Some((v, format!("offsets decrease at vertex {v}")));
+                }
+                if e > m {
+                    // offsets[n] == m was checked, so an in-range pair
+                    // overshooting the edge count implies a decrease at
+                    // some later vertex; report it structurally here.
+                    return Some((v, format!("offsets exceed the {m} edges at vertex {v}")));
+                }
+                for i in s..e {
+                    if dsts[i] as usize >= n {
+                        return Some((
+                            v,
+                            format!(
+                                "edge {i} points at vertex {} but the graph has {n} vertices",
+                                dsts[i]
+                            ),
+                        ));
+                    }
+                    if !times[i].is_finite() {
+                        return Some((v, format!("non-finite timestamp on edge {i}")));
+                    }
+                    if i > s && times[i - 1] > times[i] {
+                        return Some((v, format!("vertex {v} segment is not time-sorted")));
+                    }
+                }
+            }
+            None
+        };
+        const PARALLEL_MIN_EDGES: usize = 1 << 20;
+        let first_bad = if m >= PARALLEL_MIN_EDGES {
+            let bad = std::sync::Mutex::new(None::<(usize, String)>);
+            par::parallel_chunks(&par::ParConfig::default(), n, |v0, v1| {
+                if let Some(found) = scan_range(v0, v1) {
+                    let mut slot = bad.lock().expect("csr validation lock");
+                    // Keep the lowest-vertex violation so the reported
+                    // error is deterministic regardless of scheduling.
+                    if slot.as_ref().is_none_or(|(v, _)| found.0 < *v) {
+                        *slot = Some(found);
+                    }
+                }
+            });
+            bad.into_inner().expect("csr validation lock")
+        } else {
+            scan_range(0, n)
+        };
+        if let Some((_, message)) = first_bad {
+            return Err(invalid(message));
+        }
+        Ok(Self { offsets, dsts, times })
+    }
+
+    /// Raw CSR views `(offsets, dsts, times)` — what the storage layer
+    /// serializes. `offsets.len() == num_nodes() + 1`; `dsts`/`times` are
+    /// parallel and time-sorted within each vertex segment.
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId], &[Time]) {
+        (&self.offsets, &self.dsts, &self.times)
+    }
+
+    /// Whether the CSR arrays are borrowed from a mapped store file
+    /// rather than heap-owned.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped()
     }
 
     /// Number of vertices (including isolated ones up to the max id seen).
@@ -196,7 +309,7 @@ impl TemporalGraph {
         }
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for &t in &self.times {
+        for &t in self.times.iter() {
             lo = lo.min(t);
             hi = hi.max(t);
         }

@@ -47,8 +47,10 @@ mod graph;
 pub mod io;
 pub mod prefetch;
 pub mod stats;
+mod storage;
 
 pub use builder::GraphBuilder;
 pub use edge::{NodeId, TemporalEdge, Time};
 pub use error::TGraphError;
 pub use graph::{Neighbors, TemporalGraph};
+pub use storage::Storage;

@@ -1,0 +1,202 @@
+//! Owned-or-mapped slice backing for the zero-copy storage layer.
+//!
+//! Every large array in the hot path — the CSR offsets/destinations/
+//! timestamps here, the embedding table in `embed`, the sampler CDF and
+//! alias tables in `twalk` — is either built in memory (`Owned`) or
+//! borrowed out of a memory-mapped store file (`Mapped`). [`Storage`]
+//! abstracts over the two so the consuming structs keep plain-slice
+//! semantics (`Deref<Target = [T]>`) while an opened store file hands
+//! out views into its mapping without copying a byte.
+//!
+//! The mapped variant pins the mapping's owner (an `Arc` to the open
+//! store file) for as long as any `Storage` borrowed from it is alive,
+//! so the pointer can never dangle: dropping the last `Storage` drops
+//! the owner, which unmaps.
+
+use std::any::Any;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A contiguous immutable `[T]` that is either heap-owned or borrowed
+/// from a reference-counted mapping (e.g. an mmapped store file).
+///
+/// Semantically this *is* a `[T]`: it derefs to a slice, compares and
+/// hashes like one, and clones cheaply in the mapped case (one `Arc`
+/// bump). Construction of the mapped variant is `unsafe` — the store
+/// layer is responsible for alignment/bounds/lifetime; everything
+/// downstream stays safe Rust.
+///
+/// # Examples
+///
+/// ```
+/// use tgraph::Storage;
+///
+/// let s = Storage::owned(vec![1u32, 2, 3]);
+/// assert_eq!(&s[..], &[1, 2, 3]);
+/// assert_eq!(s.len(), 3);
+/// ```
+pub enum Storage<T> {
+    /// Plain heap-owned data (the in-memory build path).
+    Owned(Vec<T>),
+    /// A borrowed view into an immutable buffer kept alive by `owner`.
+    Mapped {
+        /// First element. Aligned to `align_of::<T>()`; valid for `len`
+        /// reads for as long as `owner` is alive.
+        ptr: *const T,
+        /// Element count.
+        len: usize,
+        /// Keep-alive handle for the backing buffer (the open store
+        /// file). Dropped when the last clone of this storage drops.
+        owner: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+impl<T> Storage<T> {
+    /// Wraps an owned vector.
+    pub fn owned(v: Vec<T>) -> Self {
+        Storage::Owned(v)
+    }
+
+    /// Borrows `len` elements at `ptr` out of a buffer kept alive by
+    /// `owner`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that `ptr` is aligned to
+    /// `align_of::<T>()`, valid for reads of `len * size_of::<T>()`
+    /// bytes containing initialized values of `T`, that the memory is
+    /// never mutated or unmapped while `owner` (or any clone of it) is
+    /// alive, and that every bit pattern in the buffer is a valid `T`
+    /// (use only plain-old-data element types).
+    pub unsafe fn mapped(ptr: *const T, len: usize, owner: Arc<dyn Any + Send + Sync>) -> Self {
+        Storage::Mapped { ptr, len, owner }
+    }
+
+    /// The elements as a plain slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Storage::Owned(v) => v.as_slice(),
+            // SAFETY: upheld by the `mapped` constructor contract; the
+            // owner Arc keeps the buffer alive for `&self`'s lifetime.
+            Storage::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    /// Whether this storage borrows from a mapping (no heap copy).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped { .. })
+    }
+
+    /// Heap bytes owned by this storage (0 for the mapped variant — the
+    /// bytes belong to the mapping, not to us).
+    pub fn owned_bytes(&self) -> usize {
+        match self {
+            Storage::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+            Storage::Mapped { .. } => 0,
+        }
+    }
+}
+
+// SAFETY: the mapped variant is an immutable view whose backing buffer
+// is owned by an `Arc<dyn Any + Send + Sync>`; with `T: Send + Sync`
+// sharing or moving the view across threads is sound because no thread
+// can mutate or free the buffer while the Arc is held.
+unsafe impl<T: Send + Sync> Send for Storage<T> {}
+unsafe impl<T: Send + Sync> Sync for Storage<T> {}
+
+impl<T> Deref for Storage<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> AsRef<[T]> for Storage<T> {
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Clone> Clone for Storage<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Owned(v) => Storage::Owned(v.clone()),
+            Storage::Mapped { ptr, len, owner } => {
+                Storage::Mapped { ptr: *ptr, len: *len, owner: Arc::clone(owner) }
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render as the slice either way; whether it is mapped is a
+        // storage detail, not part of the value.
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Storage<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for Storage<T> {}
+
+impl<T> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Self {
+        Storage::Owned(v)
+    }
+}
+
+impl<T> Default for Storage<T> {
+    fn default() -> Self {
+        Storage::Owned(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_storage_behaves_like_a_slice() {
+        let s = Storage::owned(vec![3u64, 1, 4, 1, 5]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[2], 4);
+        assert_eq!(&s[1..3], &[1, 4]);
+        assert!(!s.is_mapped());
+        assert_eq!(s.clone(), s);
+    }
+
+    #[test]
+    fn mapped_storage_views_its_owner_and_pins_it() {
+        let buf: Arc<Vec<u32>> = Arc::new(vec![10, 20, 30]);
+        let view = {
+            let owner: Arc<dyn Any + Send + Sync> = Arc::clone(&buf) as _;
+            // SAFETY: buf is immutable, lives as long as `owner`, and
+            // u32 is plain old data.
+            unsafe { Storage::mapped(buf.as_ptr(), buf.len(), owner) }
+        };
+        assert!(view.is_mapped());
+        assert_eq!(view.owned_bytes(), 0);
+        assert_eq!(&view[..], &[10, 20, 30]);
+        // Two strong refs: ours and the view's owner.
+        assert_eq!(Arc::strong_count(&buf), 2);
+        let clone = view.clone();
+        assert_eq!(Arc::strong_count(&buf), 3);
+        drop(view);
+        drop(clone);
+        assert_eq!(Arc::strong_count(&buf), 1);
+    }
+
+    #[test]
+    fn owned_and_mapped_compare_by_contents() {
+        let buf: Arc<Vec<f64>> = Arc::new(vec![0.5, -1.0]);
+        let owner: Arc<dyn Any + Send + Sync> = Arc::clone(&buf) as _;
+        let mapped = unsafe { Storage::mapped(buf.as_ptr(), buf.len(), owner) };
+        assert_eq!(Storage::owned(vec![0.5, -1.0]), mapped);
+    }
+}

@@ -83,7 +83,7 @@ pub use engine::{
 pub use options::WalkOptions;
 pub use rng::WalkRng;
 pub use sampler::{
-    PreparedSampler, SamplerBuildStats, SamplerBuilder, SamplingMethod, TransitionBias,
-    VertexSampler, DEFAULT_ALIAS_DEGREE,
+    PreparedSampler, SamplerBuildStats, SamplerBuilder, SamplerTables, SamplingMethod,
+    TransitionBias, VertexSampler, WeightedTables, DEFAULT_ALIAS_DEGREE,
 };
 pub use walkset::{WalkIter, WalkSet};

@@ -52,7 +52,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tgraph::{NodeId, TemporalGraph, Time};
+use tgraph::{NodeId, Storage, TemporalGraph, Time};
 
 use crate::{TransitionSampler, WalkRng};
 
@@ -78,23 +78,45 @@ pub trait TransitionBias: Send + Sync + std::fmt::Debug {
 /// three force one method for every vertex. Uniform and linear-time
 /// biases sample in closed form and ignore the method entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
 pub enum SamplingMethod {
     /// Resolve per vertex: churned vertices take [`SamplingMethod::Rejection`],
     /// static vertices with degree ≥ the builder's threshold take
     /// [`SamplingMethod::Alias`] (hub-first under a memory budget), and
     /// everything else keeps [`SamplingMethod::Cdf`].
     #[default]
-    Auto,
+    Auto = 0,
     /// Inverse-CDF over per-segment prefix sums — `O(log d)` per draw,
     /// 8 bytes per edge. The bit-compat reference path.
-    Cdf,
+    Cdf = 1,
     /// Vose alias table — `O(1)` per draw, 12 bytes per edge. Suffix
     /// draws condition on the valid range with an exact fallback.
-    Alias,
+    Alias = 2,
     /// Bounded rejection against a constant envelope — zero table bytes,
     /// expected ≤ e ≈ 2.72 attempts per draw. The choice for vertices
     /// whose segments churn under streaming ingest.
-    Rejection,
+    Rejection = 3,
+}
+
+impl SamplingMethod {
+    /// The on-disk byte for this method (the `repr(u8)` discriminant).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Self::as_u8`], rejecting unknown bytes — the
+    /// storage layer validates every method byte through this instead of
+    /// transmuting, so a corrupt method map can never become an invalid
+    /// enum value.
+    pub fn from_u8(b: u8) -> Result<Self, String> {
+        match b {
+            0 => Ok(SamplingMethod::Auto),
+            1 => Ok(SamplingMethod::Cdf),
+            2 => Ok(SamplingMethod::Alias),
+            3 => Ok(SamplingMethod::Rejection),
+            other => Err(format!("invalid sampling-method byte {other}")),
+        }
+    }
 }
 
 impl std::fmt::Display for SamplingMethod {
@@ -348,15 +370,17 @@ impl SamplerBuilder {
         };
         let need_cdf = methods.as_ref().is_none_or(|ms| ms.contains(&SamplingMethod::Cdf));
         let need_alias = methods.as_ref().is_some_and(|ms| ms.contains(&SamplingMethod::Alias));
-        let mut cdf_t = need_cdf.then(|| {
+        // Built as plain Vecs, wrapped into Storage-backed tables at the
+        // end (the mapped variant only enters through the import path).
+        let mut cdf_t: Option<(Vec<usize>, Vec<f64>)> = need_cdf.then(|| {
             let mut starts = Vec::with_capacity(n + 1);
             starts.push(0);
-            CdfTables { starts, cdf: Vec::new() }
+            (starts, Vec::new())
         });
-        let mut alias_t = need_alias.then(|| {
+        let mut alias_t: Option<(Vec<usize>, Vec<f64>, Vec<u32>)> = need_alias.then(|| {
             let mut starts = Vec::with_capacity(n + 1);
             starts.push(0);
-            AliasTables { starts, prob: Vec::new(), alias: Vec::new() }
+            (starts, Vec::new(), Vec::new())
         });
         let mut counts = MethodCounts::default();
         let mut wbuf: Vec<f64> = Vec::new();
@@ -374,32 +398,38 @@ impl SamplerBuilder {
                 match m {
                     SamplingMethod::Cdf => {
                         counts.cdf += 1;
-                        let c = cdf_t.as_mut().expect("cdf tables allocated");
+                        let (_, cdf) = cdf_t.as_mut().expect("cdf tables allocated");
                         let mut acc = 0.0;
                         for &t in times {
                             acc += weight(t);
-                            c.cdf.push(acc);
+                            cdf.push(acc);
                         }
                     }
                     SamplingMethod::Alias => {
                         counts.alias += 1;
                         wbuf.clear();
                         wbuf.extend(times.iter().map(|&t| weight(t)));
-                        let a = alias_t.as_mut().expect("alias tables allocated");
-                        push_vose(&wbuf, a, &mut small, &mut large);
+                        let (_, prob, alias) = alias_t.as_mut().expect("alias tables allocated");
+                        push_vose(&wbuf, prob, alias, &mut small, &mut large);
                     }
                     SamplingMethod::Rejection => counts.rejection += 1,
                     SamplingMethod::Auto => unreachable!("Auto is resolved before table build"),
                 }
             }
-            if let Some(c) = &mut cdf_t {
-                c.starts.push(c.cdf.len());
+            if let Some((starts, cdf)) = &mut cdf_t {
+                starts.push(cdf.len());
             }
-            if let Some(a) = &mut alias_t {
-                a.starts.push(a.prob.len());
+            if let Some((starts, prob, _)) = &mut alias_t {
+                starts.push(prob.len());
             }
         }
-        (VertexSampler { recency, span, methods, cdf: cdf_t, alias: alias_t }, counts)
+        let cdf = cdf_t.map(|(starts, cdf)| CdfTables { starts: starts.into(), cdf: cdf.into() });
+        let alias = alias_t.map(|(starts, prob, alias)| AliasTables {
+            starts: starts.into(),
+            prob: prob.into(),
+            alias: alias.into(),
+        });
+        (VertexSampler { recency, span, methods, cdf, alias }, counts)
     }
 
     /// The `Auto` policy: churned → rejection; static degree ≥ threshold
@@ -458,20 +488,21 @@ pub struct VertexSampler {
 }
 
 /// Per-segment cumulative weights aligned with CSR edge order;
-/// `starts[v]..starts[v + 1]` is vertex `v`'s slice of `cdf`.
+/// `starts[v]..starts[v + 1]` is vertex `v`'s slice of `cdf`. Backed by
+/// [`Storage`] so a mapped store file can lend the arrays zero-copy.
 #[derive(Debug)]
 struct CdfTables {
-    starts: Vec<usize>,
-    cdf: Vec<f64>,
+    starts: Storage<usize>,
+    cdf: Storage<f64>,
 }
 
 /// Vose alias tables, same segment layout: `starts[v]..starts[v + 1]`
 /// slices both `prob` and `alias`. `alias` holds segment-local indices.
 #[derive(Debug)]
 struct AliasTables {
-    starts: Vec<usize>,
-    prob: Vec<f64>,
-    alias: Vec<u32>,
+    starts: Storage<usize>,
+    prob: Storage<f64>,
+    alias: Storage<u32>,
 }
 
 impl VertexSampler {
@@ -625,17 +656,23 @@ fn probe_lines(data: &[f64], a: usize, b: usize) {
 /// scaled so the mean is 1; the small/large worklists pair each
 /// deficient entry with a surplus donor. Entries left over in either
 /// list are exactly 1 up to round-off and are pinned there.
-fn push_vose(weights: &[f64], t: &mut AliasTables, small: &mut Vec<u32>, large: &mut Vec<u32>) {
+fn push_vose(
+    weights: &[f64],
+    prob: &mut Vec<f64>,
+    alias: &mut Vec<u32>,
+    small: &mut Vec<u32>,
+    large: &mut Vec<u32>,
+) {
     let d = weights.len();
-    let base = t.prob.len();
+    let base = prob.len();
     let total: f64 = weights.iter().sum();
     let scale = d as f64 / total;
-    t.prob.extend(weights.iter().map(|&w| w * scale));
-    t.alias.resize(base + d, 0);
+    prob.extend(weights.iter().map(|&w| w * scale));
+    alias.resize(base + d, 0);
     small.clear();
     large.clear();
     for i in 0..d {
-        if t.prob[base + i] < 1.0 {
+        if prob[base + i] < 1.0 {
             small.push(i as u32);
         } else {
             large.push(i as u32);
@@ -643,16 +680,16 @@ fn push_vose(weights: &[f64], t: &mut AliasTables, small: &mut Vec<u32>, large: 
     }
     while let Some(&l) = large.last() {
         let Some(s) = small.pop() else { break };
-        t.alias[base + s as usize] = l;
-        let p = t.prob[base + l as usize] - (1.0 - t.prob[base + s as usize]);
-        t.prob[base + l as usize] = p;
+        alias[base + s as usize] = l;
+        let p = prob[base + l as usize] - (1.0 - prob[base + s as usize]);
+        prob[base + l as usize] = p;
         if p < 1.0 {
             large.pop();
             small.push(l);
         }
     }
     for &i in small.iter().chain(large.iter()) {
-        t.prob[base + i as usize] = 1.0;
+        prob[base + i as usize] = 1.0;
     }
 }
 
@@ -837,6 +874,205 @@ impl PreparedSampler {
                 pick
             }
         }
+    }
+}
+
+/// Borrowed view of a prepared sampler's state for serialization — what
+/// the persistent storage layer writes into a store file's sampler
+/// sections. Obtained from [`PreparedSampler::export_tables`].
+#[derive(Debug)]
+pub enum SamplerTables<'a> {
+    /// Closed-form uniform sampling: no tables, nothing but the bias tag
+    /// to persist.
+    Uniform,
+    /// Closed-form CTDNE linear-time sampling: likewise table-free.
+    LinearTime,
+    /// Softmax-weighted sampling with per-vertex method dispatch.
+    Weighted {
+        /// Recency variant (`true` for [`TransitionSampler::SoftmaxRecency`]).
+        recency: bool,
+        /// The graph-wide span `r` the weights were anchored with.
+        span: f64,
+        /// Per-vertex method map; `None` is the compact all-CDF layout.
+        methods: Option<&'a [SamplingMethod]>,
+        /// CDF `(starts, cumulative_weights)`, if any vertex uses CDF.
+        cdf: Option<(&'a [usize], &'a [f64])>,
+        /// Alias `(starts, probabilities, alias_indices)`, if any vertex
+        /// uses alias tables.
+        alias: Option<(&'a [usize], &'a [f64], &'a [u32])>,
+    },
+}
+
+/// Owned-or-mapped table parts for rebuilding a softmax-weighted
+/// [`PreparedSampler`] from a store file — the import-side mirror of
+/// [`SamplerTables::Weighted`], with [`Storage`] in place of borrows so
+/// a mapped file can lend the big arrays zero-copy.
+#[derive(Debug)]
+pub struct WeightedTables {
+    /// Recency variant.
+    pub recency: bool,
+    /// The graph-wide span `r` the weights were anchored with.
+    pub span: f64,
+    /// Per-vertex method map; `None` is the compact all-CDF layout.
+    pub methods: Option<Vec<SamplingMethod>>,
+    /// CDF `(starts, cumulative_weights)`.
+    pub cdf: Option<(Storage<usize>, Storage<f64>)>,
+    /// Alias `(starts, probabilities, alias_indices)`.
+    pub alias: Option<(Storage<usize>, Storage<f64>, Storage<u32>)>,
+}
+
+/// Checks one `starts` array against its payload: `n + 1` entries,
+/// starting at 0, nondecreasing, ending exactly at `payload_len`.
+fn check_starts(what: &str, starts: &[usize], n: usize, payload_len: usize) -> Result<(), String> {
+    if starts.len() != n + 1 {
+        return Err(format!("{what} starts has {} entries, expected {}", starts.len(), n + 1));
+    }
+    if starts[0] != 0 {
+        return Err(format!("{what} starts[0] is {}, expected 0", starts[0]));
+    }
+    if let Some(v) = starts.windows(2).position(|w| w[0] > w[1]) {
+        return Err(format!("{what} starts decrease at vertex {v}"));
+    }
+    if starts[n] != payload_len {
+        return Err(format!("{what} starts end at {}, expected {payload_len}", starts[n]));
+    }
+    Ok(())
+}
+
+impl PreparedSampler {
+    /// Number of vertices of the graph this sampler was prepared for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges of the graph this sampler was prepared for.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Exports the sampler's serializable state, or `None` for
+    /// [`PreparedSampler::custom`] samplers (an arbitrary bias function
+    /// has no on-disk representation).
+    pub fn export_tables(&self) -> Option<SamplerTables<'_>> {
+        match &self.kind {
+            PreparedKind::Uniform => Some(SamplerTables::Uniform),
+            PreparedKind::LinearTime => Some(SamplerTables::LinearTime),
+            PreparedKind::Custom(_) => None,
+            PreparedKind::Weighted(vs) => Some(SamplerTables::Weighted {
+                recency: vs.recency,
+                span: vs.span,
+                methods: vs.methods.as_deref(),
+                cdf: vs.cdf.as_ref().map(|c| (&c.starts[..], &c.cdf[..])),
+                alias: vs.alias.as_ref().map(|a| (&a.starts[..], &a.prob[..], &a.alias[..])),
+            }),
+        }
+    }
+
+    /// Rebuilds a closed-form (table-free) prepared sampler — the import
+    /// path for [`TransitionSampler::Uniform`] and
+    /// [`TransitionSampler::LinearTime`], whose preparation is free.
+    pub fn from_closed_form(
+        bias: TransitionSampler,
+        num_nodes: usize,
+        num_edges: usize,
+    ) -> Result<Self, String> {
+        let kind = match bias {
+            TransitionSampler::Uniform => PreparedKind::Uniform,
+            TransitionSampler::LinearTime => PreparedKind::LinearTime,
+            other => return Err(format!("{other:?} is not a closed-form sampler")),
+        };
+        Ok(Self { kind, stats: SamplerBuildStats::default(), num_nodes, num_edges })
+    }
+
+    /// Rebuilds a softmax-weighted prepared sampler from previously
+    /// exported tables — the import path for a store file, taking
+    /// [`Storage`] so mapped arrays are adopted zero-copy.
+    ///
+    /// The structural invariants the sampling hot path relies on are
+    /// *checked*, not assumed: `starts` arrays must have `num_nodes + 1`
+    /// monotone entries ending at their payload length, alias rows must
+    /// be parallel with segment-local indices, the method map (when
+    /// present) must cover every vertex with a concrete method whose
+    /// table exists, and the span must be positive and finite. Any
+    /// violation is an `Err` — never a panic later inside a walk.
+    ///
+    /// `counts` carries the build-time per-method vertex split
+    /// (`cdf`, `alias`, `rejection`) for [`SamplerBuildStats`]; byte
+    /// accounting is recomputed from the tables themselves.
+    pub fn from_weighted_tables(
+        t: WeightedTables,
+        num_nodes: usize,
+        num_edges: usize,
+        counts: (usize, usize, usize),
+    ) -> Result<Self, String> {
+        if !(t.span.is_finite() && t.span > 0.0) {
+            return Err(format!("span must be positive and finite, got {}", t.span));
+        }
+        if let Some(ms) = &t.methods {
+            if ms.len() != num_nodes {
+                return Err(format!("method map has {} entries, expected {num_nodes}", ms.len()));
+            }
+            for (v, &m) in ms.iter().enumerate() {
+                match m {
+                    SamplingMethod::Cdf if t.cdf.is_none() => {
+                        return Err(format!("vertex {v} needs CDF tables but none are present"));
+                    }
+                    SamplingMethod::Alias if t.alias.is_none() => {
+                        return Err(format!("vertex {v} needs alias tables but none are present"));
+                    }
+                    SamplingMethod::Auto => {
+                        return Err(format!("vertex {v} has unresolved method Auto"));
+                    }
+                    _ => {}
+                }
+            }
+        } else if t.cdf.is_none() {
+            return Err("compact layout (no method map) requires CDF tables".into());
+        }
+        if let Some((starts, cdf)) = &t.cdf {
+            check_starts("cdf", starts, num_nodes, cdf.len())?;
+        }
+        if let Some((starts, prob, alias)) = &t.alias {
+            check_starts("alias", starts, num_nodes, prob.len())?;
+            if alias.len() != prob.len() {
+                return Err(format!(
+                    "alias rows are not parallel: {} probs vs {} indices",
+                    prob.len(),
+                    alias.len()
+                ));
+            }
+            // Alias entries are segment-local: every index must stay
+            // inside its own vertex's row or a draw could escape the
+            // segment and index out of bounds mid-walk.
+            for v in 0..num_nodes {
+                let (s, e) = (starts[v], starts[v + 1]);
+                let deg = e - s;
+                if let Some(i) = alias[s..e].iter().position(|&x| (x as usize) >= deg) {
+                    return Err(format!(
+                        "alias index {} at vertex {v} edge {i} exceeds segment degree {deg}",
+                        alias[s + i]
+                    ));
+                }
+            }
+        }
+        let vs = VertexSampler {
+            recency: t.recency,
+            span: t.span,
+            methods: t.methods,
+            cdf: t.cdf.map(|(starts, cdf)| CdfTables { starts, cdf }),
+            alias: t.alias.map(|(starts, prob, alias)| AliasTables { starts, prob, alias }),
+        };
+        let kind = PreparedKind::Weighted(vs);
+        let (table_bytes, alias_bytes) = table_footprint(&kind);
+        let stats = SamplerBuildStats {
+            build_time: Duration::ZERO,
+            table_bytes,
+            cdf_vertices: counts.0,
+            alias_vertices: counts.1,
+            rejection_vertices: counts.2,
+            alias_bytes,
+        };
+        Ok(Self { kind, stats, num_nodes, num_edges })
     }
 }
 
@@ -1253,9 +1489,9 @@ mod tests {
     fn vose_tables_are_exact_for_uniform_weights() {
         // Equal weights scale to exactly 1.0 everywhere: every draw
         // accepts its first column and the alias row is never consulted.
-        let mut t = AliasTables { starts: vec![0], prob: Vec::new(), alias: Vec::new() };
+        let (mut prob, mut alias) = (Vec::new(), Vec::new());
         let (mut s, mut l) = (Vec::new(), Vec::new());
-        push_vose(&[2.5; 7], &mut t, &mut s, &mut l);
-        assert_eq!(t.prob, vec![1.0; 7]);
+        push_vose(&[2.5; 7], &mut prob, &mut alias, &mut s, &mut l);
+        assert_eq!(prob, vec![1.0; 7]);
     }
 }
