@@ -17,7 +17,9 @@
 //! rwalk serve     [--dataset NAME | --wel FILE | --graph-store FILE]
 //!                 [--snapshot FILE] [--scale S] [--port P]
 //!                 [--threads T] [--max-batch B] [--max-wait-us W]
-//!                 [--refresh-ms R] [--smoke]
+//!                 [--refresh-ms R] [--io blocking|reactor] [--shards N]
+//!                 [--shard-budget Q] [--max-conns C]
+//!                 [--idle-timeout-ms I] [--smoke]
 //! rwalk pack      [--dataset NAME | --wel FILE] [--scale S]
 //!                 [--graph-out FILE] [--snapshot-out FILE] [walk flags]
 //! rwalk inspect   FILE
@@ -42,7 +44,12 @@
 //! `serve` trains a link model and serves it over the JSON-lines TCP
 //! protocol (see the README's "Serving" section); `--smoke` starts the
 //! server on a loopback port, issues one query of each type against it,
-//! prints the responses, and exits — the CI smoke test.
+//! prints the responses, and exits — the CI smoke test. `--io` selects
+//! the transport: `reactor` (default; epoll event loop + `--shards`
+//! consistent-hash query workers with `--shard-budget` admission
+//! control, `--max-conns`, `--idle-timeout-ms`) or `blocking`
+//! (thread-per-connection on `--threads` handlers, kept for A/B runs
+//! with the `loadgen` bench binary).
 //!
 //! Persistence (README "Persistence", DESIGN.md §14): `pack` writes
 //! store files — `--graph-out` the ingested graph plus its prepared
@@ -138,6 +145,11 @@ struct Options {
     max_batch: usize,
     max_wait_us: u64,
     refresh_ms: u64,
+    io: String,
+    shards: usize,
+    shard_budget: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
     smoke: bool,
     metrics_out: Option<String>,
     graph_store: Option<String>,
@@ -166,6 +178,11 @@ impl Options {
             max_batch: 64,
             max_wait_us: 200,
             refresh_ms: 1_000,
+            io: "reactor".into(),
+            shards: 0,
+            shard_budget: 1024,
+            max_conns: 4096,
+            idle_timeout_ms: 60_000,
             smoke: false,
             metrics_out: None,
             graph_store: None,
@@ -219,6 +236,24 @@ impl Options {
                     o.refresh_ms =
                         val("--refresh-ms")?.parse().map_err(|e| format!("--refresh-ms: {e}"))?
                 }
+                "--io" => o.io = val("--io")?.trim().to_ascii_lowercase(),
+                "--shards" => {
+                    o.shards = val("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+                }
+                "--shard-budget" => {
+                    o.shard_budget = val("--shard-budget")?
+                        .parse()
+                        .map_err(|e| format!("--shard-budget: {e}"))?
+                }
+                "--max-conns" => {
+                    o.max_conns =
+                        val("--max-conns")?.parse().map_err(|e| format!("--max-conns: {e}"))?
+                }
+                "--idle-timeout-ms" => {
+                    o.idle_timeout_ms = val("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-ms: {e}"))?
+                }
                 "--smoke" => o.smoke = true,
                 "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
                 "--graph-store" => o.graph_store = Some(val("--graph-store")?),
@@ -248,6 +283,21 @@ impl Options {
         }
         if o.refresh_ms == 0 {
             return Err("--refresh-ms must be at least 1".into());
+        }
+        if !matches!(o.io.as_str(), "blocking" | "reactor") {
+            return Err(format!(
+                "--io: unknown transport {:?} (valid values: blocking, reactor)",
+                o.io
+            ));
+        }
+        if o.shard_budget == 0 {
+            return Err("--shard-budget must be at least 1".into());
+        }
+        if o.max_conns == 0 {
+            return Err("--max-conns must be at least 1".into());
+        }
+        if o.idle_timeout_ms == 0 {
+            return Err("--idle-timeout-ms must be at least 1".into());
         }
         if o.wel.is_some() && o.graph_store.is_some() {
             return Err("--wel and --graph-store are mutually exclusive graph sources".into());
@@ -513,14 +563,44 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     } else {
         format!("127.0.0.1:{}", o.port)
     };
+
+    // `--io` selects the transport: the readiness-driven reactor
+    // (default) or the thread-per-connection blocking server, kept for
+    // A/B comparison (see `loadgen` in crates/bench).
+    if o.io == "reactor" {
+        let config = rwserve::ReactorConfig {
+            shards: o.shards,
+            shard_budget: o.shard_budget,
+            max_conns: o.max_conns,
+            idle_timeout: Duration::from_millis(o.idle_timeout_ms),
+            ..rwserve::ReactorConfig::default()
+        };
+        let server = rwserve::ReactorServer::start(Arc::clone(&service), &addr, config)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "serving on {} (reactor, {} shards, budget {}, max {} conns)",
+            server.local_addr(),
+            config.resolved_shards(),
+            config.shard_budget,
+            config.max_conns
+        );
+        if o.smoke {
+            return smoke_check(server.local_addr(), ingest_enabled);
+        }
+        // Serve until killed; the stats summary goes to stdout once a minute.
+        loop {
+            std::thread::sleep(Duration::from_secs(60));
+            println!("{}", service.stats().summary());
+        }
+    }
+
     let threads = if o.threads == 0 { 4 } else { o.threads };
     let server = Server::start(Arc::clone(&service), &addr, threads).map_err(|e| e.to_string())?;
-    println!("serving on {} ({} handler threads)", server.local_addr(), threads);
+    println!("serving on {} (blocking, {} handler threads)", server.local_addr(), threads);
 
     if o.smoke {
-        return smoke_check(&server, ingest_enabled);
+        return smoke_check(server.local_addr(), ingest_enabled);
     }
-    // Serve until killed; the stats summary goes to stdout once a minute.
     loop {
         std::thread::sleep(Duration::from_secs(60));
         println!("{}", service.stats().summary());
@@ -641,15 +721,16 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One query of each protocol op against the live server; any failure is
-/// a hard error. This is the CI smoke test behind `rwalk serve --smoke`.
-/// A server without a graph source has no refresher, so `ingest` is
-/// expected to answer with its structured "unavailable" error instead.
-fn smoke_check(server: &rwserve::Server, ingest_enabled: bool) -> Result<(), String> {
+/// One query of each protocol op against the live server (either
+/// transport — only the address matters); any failure is a hard error.
+/// This is the CI smoke test behind `rwalk serve --smoke`. A server
+/// without a graph source has no refresher, so `ingest` is expected to
+/// answer with its structured "unavailable" error instead.
+fn smoke_check(addr: std::net::SocketAddr, ingest_enabled: bool) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
 
-    let mut stream = TcpStream::connect(server.local_addr()).map_err(|e| e.to_string())?;
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let requests = [
         r#"{"op":"link_score","u":0,"v":1}"#,

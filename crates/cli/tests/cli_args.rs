@@ -44,6 +44,14 @@ fn rejected_flag_combinations_fail_with_explanations() {
         (&["linkpred", "--walks", "-3"], "--walks"),
         (&["serve", "--max-batch", "0"], "--max-batch"),
         (&["serve", "--refresh-ms", "0"], "--refresh-ms"),
+        // Reactor transport flags.
+        (&["serve", "--io", "uring"], "valid values: blocking, reactor"),
+        (&["serve", "--io", ""], "--io"),
+        (&["serve", "--io"], "--io needs a value"),
+        (&["serve", "--shard-budget", "0"], "--shard-budget"),
+        (&["serve", "--max-conns", "0"], "--max-conns"),
+        (&["serve", "--idle-timeout-ms", "0"], "--idle-timeout-ms"),
+        (&["serve", "--shards", "-1"], "--shards"),
         // Structural errors.
         (&["linkpred", "--no-such-flag"], "unknown flag"),
         (&["linkpred", "--sampler"], "--sampler needs a value"),

@@ -24,6 +24,13 @@
 //! - [`protocol`] + [`server`]: a dependency-light JSON-lines protocol
 //!   over `std::net` TCP, with handlers scheduled on a [`par::TaskPool`]
 //!   and counters surfaced as [`rwalk_core::ServeStats`].
+//! - [`reactor`] + [`shard`]: the readiness-driven front end (DESIGN.md
+//!   §15). One epoll event loop (raw syscalls, no dependencies) owns
+//!   every connection; parsed requests route by consistent hash to N
+//!   shard workers whose batched dispatch keeps the [`MicroBatcher`]
+//!   full, with bounded admission budgets that shed load as structured
+//!   `"overloaded"` errors. The blocking [`Server`] remains available
+//!   behind `--io blocking` for A/B comparison.
 //!
 //! # Examples
 //!
@@ -50,15 +57,19 @@ pub mod engine;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod refresh;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod store;
 
 pub use batcher::{BatchPolicy, MicroBatcher};
 pub use engine::{QueryEngine, QueryError};
 pub use metrics::Metrics;
+pub use reactor::{ReactorConfig, ReactorServer};
 pub use refresh::Refresher;
 pub use server::Server;
 pub use service::Service;
+pub use shard::ShardPool;
 pub use store::{EmbeddingStore, ModelSnapshot};

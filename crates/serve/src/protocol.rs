@@ -53,6 +53,21 @@ pub enum Request {
     Metrics,
 }
 
+impl Request {
+    /// The node id that shard routing hashes, when the operation has one
+    /// (`link_score`/`embedding`/`topk` key on `u`). Keyless operations
+    /// (`ingest`, `stats`, `metrics`) return `None` and are routed by
+    /// connection instead.
+    pub fn routing_key(&self) -> Option<u64> {
+        match self {
+            Request::LinkScore { u, .. } | Request::Embedding { u } | Request::TopK { u, .. } => {
+                Some(u64::from(*u))
+            }
+            Request::Ingest { .. } | Request::Stats | Request::Metrics => None,
+        }
+    }
+}
+
 /// Parses one request line. The error string is ready to embed in an
 /// `"ok":false` response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
@@ -115,6 +130,19 @@ fn parse_edge(item: &Json) -> Result<TemporalEdge, String> {
 /// An `"ok":false` response line (no trailing newline).
 pub fn error_response(message: &str) -> String {
     obj([("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))]).to_string()
+}
+
+/// The structured load-shedding response: `"error":"overloaded"` so
+/// clients can match on it exactly, plus a `"detail"` naming which
+/// budget tripped. Shedding never closes the connection (except the
+/// connection-cap path, where there is no connection to keep).
+pub fn overloaded_response(detail: &str) -> String {
+    obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("overloaded".to_string())),
+        ("detail", Json::Str(detail.to_string())),
+    ])
+    .to_string()
 }
 
 /// An `"ok":true` response with the payload fields and snapshot version.

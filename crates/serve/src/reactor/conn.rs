@@ -1,0 +1,262 @@
+//! Sans-IO per-connection state machines: JSON-lines framing on the read
+//! side, partial-write resumption on the write side.
+//!
+//! Both are pure byte-in/byte-out structs with no socket inside, so the
+//! test suite can drive every split point of every protocol message
+//! through them without a kernel (tests/reactor_framing.rs). The reactor
+//! owns one of each per connection and wires them to a nonblocking
+//! `TcpStream`.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Default cap on one accumulated request line. A JSON-lines client that
+/// never sends a newline would otherwise grow the read buffer without
+/// bound — a slow-loris OOM. One MiB comfortably fits the largest
+/// legitimate request (a multi-thousand-edge `ingest` batch) while
+/// bounding per-connection memory.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What [`LineFramer::push`] extracted from the stream so far.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One complete newline-terminated line (newline stripped, trimmed).
+    /// Empty lines are skipped, not framed.
+    Line(String),
+    /// The stream opened with `GET ` — an HTTP scrape, not JSON lines.
+    /// Carries the request path (e.g. `/metrics`).
+    HttpGet(String),
+}
+
+/// Why the framer refused more input. Both are connection-fatal: the
+/// caller sends one structured error line and closes after flushing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The accumulated line exceeded the cap without a newline.
+    LineTooLong {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::LineTooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes without a newline")
+            }
+        }
+    }
+}
+
+/// Incremental newline-delimited framing over arbitrarily chunked reads.
+///
+/// Feed whatever the socket returned — single bytes, half messages,
+/// twelve coalesced messages — and get back exactly the complete lines,
+/// independent of chunking. Once an error is returned the framer is
+/// poisoned and returns the same error for all further input.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_line: usize,
+    poisoned: bool,
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_line` bytes per accumulated line.
+    pub fn new(max_line: usize) -> Self {
+        Self { buf: Vec::new(), max_line, poisoned: false }
+    }
+
+    /// Appends `data` and extracts every line completed by it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::LineTooLong`] once the unterminated tail exceeds the
+    /// cap. Lines completed by this same push are still returned by the
+    /// *previous* calls; the erroring call returns only the error (the
+    /// connection is closing anyway).
+    pub fn push(&mut self, data: &[u8]) -> Result<Vec<Frame>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::LineTooLong { limit: self.max_line });
+        }
+        self.buf.extend_from_slice(data);
+        let mut frames = Vec::new();
+        let mut start = 0;
+        while let Some(rel) = self.buf[start..].iter().position(|&b| b == b'\n') {
+            let line = &self.buf[start..start + rel];
+            let text = String::from_utf8_lossy(line);
+            let trimmed = text.trim();
+            if !trimmed.is_empty() {
+                if let Some(path) = trimmed.strip_prefix("GET ") {
+                    let path = path.split_whitespace().next().unwrap_or("").to_string();
+                    frames.push(Frame::HttpGet(path));
+                } else {
+                    frames.push(Frame::Line(trimmed.to_string()));
+                }
+            }
+            start += rel + 1;
+        }
+        self.buf.drain(..start);
+        if self.buf.len() > self.max_line {
+            self.poisoned = true;
+            self.buf = Vec::new(); // release the oversized tail immediately
+            return Err(FrameError::LineTooLong { limit: self.max_line });
+        }
+        Ok(frames)
+    }
+
+    /// Bytes buffered waiting for a newline.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Outbound bytes with partial-write resumption.
+///
+/// Responses are appended whole; [`WriteBuf::flush_to`] pushes as much as
+/// the sink accepts and keeps the cursor, so a connection whose send
+/// buffer fills mid-response resumes exactly where it stopped when epoll
+/// reports it writable again.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    queue: VecDeque<u8>,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `bytes` for transmission.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.queue.extend(bytes);
+    }
+
+    /// True when every queued byte has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Bytes still waiting to be written.
+    pub fn pending_bytes(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Writes as much as `sink` accepts (retrying after short writes).
+    /// Returns `Ok(true)` when the buffer fully drained, `Ok(false)` when
+    /// the sink applied backpressure (`WouldBlock`) and bytes remain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any sink error other than `WouldBlock`/`Interrupted`
+    /// (e.g. a peer reset) — the connection is dead.
+    pub fn flush_to(&mut self, sink: &mut impl Write) -> io::Result<bool> {
+        while !self.queue.is_empty() {
+            let (head, _) = self.queue.as_slices();
+            match sink.write(head) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "sink accepted 0 bytes"))
+                }
+                Ok(n) => {
+                    self.queue.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_chunking_independent() {
+        let stream = b"{\"op\":\"stats\"}\n{\"op\":\"metrics\"}\n";
+        for split in 0..stream.len() {
+            let mut f = LineFramer::new(MAX_LINE_BYTES);
+            let mut got = Vec::new();
+            got.extend(f.push(&stream[..split]).unwrap());
+            got.extend(f.push(&stream[split..]).unwrap());
+            assert_eq!(
+                got,
+                vec![
+                    Frame::Line("{\"op\":\"stats\"}".into()),
+                    Frame::Line("{\"op\":\"metrics\"}".into())
+                ],
+                "split at byte {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_lines_are_skipped() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(f.push(b"\n  \n\r\nx\n").unwrap(), vec![Frame::Line("x".into())]);
+    }
+
+    #[test]
+    fn http_get_is_recognized() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(
+            f.push(b"GET /metrics HTTP/1.1\r\n").unwrap(),
+            vec![Frame::HttpGet("/metrics".into())]
+        );
+    }
+
+    #[test]
+    fn overlong_line_poisons() {
+        let mut f = LineFramer::new(8);
+        assert!(f.push(b"12345678").unwrap().is_empty()); // exactly at cap: still waiting
+        let err = f.push(b"9").unwrap_err();
+        assert_eq!(err, FrameError::LineTooLong { limit: 8 });
+        assert_eq!(f.pending_bytes(), 0, "oversized tail is released");
+        // Poisoned: even a clean newline no longer produces frames.
+        assert!(f.push(b"ok\n").is_err());
+    }
+
+    #[test]
+    fn write_buf_resumes_partial_writes() {
+        // Accepts `cap` bytes, then reports WouldBlock until the next
+        // "readiness" — a tiny-send-buffer socket in miniature.
+        struct Trickle {
+            out: Vec<u8>,
+            cap: usize,
+            budget: usize,
+        }
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                let n = buf.len().min(self.budget);
+                self.out.extend_from_slice(&buf[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.push(b"{\"ok\":true}\n");
+        wb.push(b"{\"ok\":false}\n");
+        let mut sink = Trickle { out: Vec::new(), cap: 3, budget: 3 };
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if wb.flush_to(&mut sink).unwrap() {
+                break;
+            }
+            sink.budget = sink.cap; // epoll says writable again
+        }
+        assert_eq!(sink.out, b"{\"ok\":true}\n{\"ok\":false}\n");
+        assert!(wb.is_empty());
+        assert!(rounds >= 8, "3-byte budget forces many resumptions, got {rounds}");
+    }
+}

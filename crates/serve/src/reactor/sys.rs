@@ -1,0 +1,330 @@
+//! Raw `epoll`/`eventfd` syscalls for the readiness-driven reactor.
+//!
+//! The workspace is dependency-free, so — following the raw-syscall mmap
+//! precedent in `crates/store` — the reactor talks to the kernel
+//! directly: `epoll_create1`, `epoll_ctl`, `epoll_pwait`, and `eventfd2`
+//! via inline-asm syscalls on Linux x86_64/aarch64. Sockets themselves
+//! stay `std::net` (`TcpListener`/`TcpStream` in nonblocking mode); only
+//! the readiness machinery needs syscalls std does not expose.
+//!
+//! Safety argument: every wrapper passes kernel-owned integers (fds,
+//! timeouts) or pointers to stack/heap buffers whose lifetimes cover the
+//! call (`epoll_pwait` writes into the caller's event slice, bounded by
+//! its length; `eventfd` reads/writes touch one local `u64`). The kernel
+//! signals failure by returning `-errno` in `-4095..0`, which each
+//! wrapper converts to `std::io::Error`; no wrapper dereferences a
+//! returned pointer.
+
+use std::io;
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+/// Readiness: data to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the socket send buffer has room.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: unregister an fd.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change an fd's interest mask.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EFD_NONBLOCK: usize = 0x800;
+
+/// The kernel's `struct epoll_event`: an interest/readiness mask plus a
+/// caller-chosen 64-bit token. x86_64 is the one ABI where the kernel
+/// packs the struct (no padding between the `u32` and the `u64`);
+/// everywhere else it has natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// EPOLL* bit mask.
+    pub events: u32,
+    /// Opaque token, returned verbatim with each readiness report.
+    pub data: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall5(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall5(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+fn check(ret: isize) -> io::Result<isize> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance fd; closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance.
+    pub fn new() -> io::Result<Self> {
+        let ret = check(unsafe { syscall4(nr::EPOLL_CREATE1, 0, 0, 0, 0) })?;
+        Ok(Self { fd: ret as i32 })
+    }
+
+    /// Registers `fd` with interest `events` and token `data`.
+    pub fn add(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    /// Changes `fd`'s interest mask (token is re-specified).
+    pub fn modify(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    /// Unregisters `fd`.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, data };
+        check(unsafe {
+            syscall4(
+                nr::EPOLL_CTL,
+                self.fd as usize,
+                op as usize,
+                fd as usize,
+                std::ptr::addr_of!(ev) as usize,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Blocks until readiness (or `timeout_ms`, or a signal), filling
+    /// `events`. Returns how many entries were written. A negative
+    /// timeout blocks indefinitely; `EINTR` is reported as zero events
+    /// rather than an error, so callers just loop.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            syscall5(
+                nr::EPOLL_PWAIT,
+                self.fd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0, // no signal mask
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = unsafe { syscall4(nr::CLOSE, self.fd as usize, 0, 0, 0) };
+    }
+}
+
+/// An owned nonblocking eventfd: the reactor's cross-thread wakeup
+/// primitive. Shard workers [`EventFd::signal`] it after pushing
+/// completions; the reactor registers it in the epoll set and
+/// [`EventFd::drain`]s it when it fires.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: i32,
+}
+
+impl EventFd {
+    /// Creates a nonblocking eventfd with counter 0.
+    pub fn new() -> io::Result<Self> {
+        let ret = check(unsafe { syscall4(nr::EVENTFD2, 0, EFD_NONBLOCK, 0, 0) })?;
+        Ok(Self { fd: ret as i32 })
+    }
+
+    /// The raw fd (for epoll registration).
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking any epoll wait. Safe from any
+    /// thread; errors are ignored (the counter saturating still wakes).
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        let _ = unsafe {
+            syscall4(nr::WRITE, self.fd as usize, std::ptr::addr_of!(one) as usize, 8, 0)
+        };
+    }
+
+    /// Resets the counter to 0 so level-triggered epoll stops reporting
+    /// it readable.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        let _ = unsafe {
+            syscall4(nr::READ, self.fd as usize, std::ptr::addr_of_mut!(buf) as usize, 8, 0)
+        };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        let _ = unsafe { syscall4(nr::CLOSE, self.fd as usize, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_signal_wakes_epoll_and_drain_quiesces() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::default(); 4];
+        // Nothing signaled: a zero timeout returns immediately with none.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        ev.signal();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        // Copy out of the (possibly packed) struct before asserting.
+        let (data, mask) = (events[0].data, events[0].events);
+        assert_eq!(data, 7);
+        assert_ne!(mask & EPOLLIN, 0);
+
+        // Draining clears level-triggered readiness.
+        ev.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_listener_accept_readiness() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        {
+            use std::os::unix::io::AsRawFd;
+            ep.add(listener.as_raw_fd(), EPOLLIN, 1).unwrap();
+        }
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "no pending accept yet");
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 1);
+    }
+
+    #[test]
+    fn delete_unregisters() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 3).unwrap();
+        ev.signal();
+        ep.delete(ev.fd()).unwrap();
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+}

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use par::TaskPool;
 
+use crate::reactor::conn::{Frame, LineFramer, MAX_LINE_BYTES};
 use crate::Service;
 
 /// How long blocking reads wait before re-checking the stop flag.
@@ -109,39 +110,47 @@ impl Drop for Server {
 }
 
 /// Reads newline-delimited requests until EOF or server stop. Uses a
-/// read timeout so a silent client cannot pin a worker past shutdown.
+/// read timeout so a silent client cannot pin a worker past shutdown,
+/// and the shared [`LineFramer`] so a client that never sends a newline
+/// cannot grow the read buffer without bound: past the per-line cap the
+/// handler answers one structured error and closes.
 fn handle_connection(mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
-    let mut pending: Vec<u8> = Vec::new();
+    let mut framer = LineFramer::new(MAX_LINE_BYTES);
     let mut chunk = [0u8; 4096];
     while !stop.load(Ordering::Acquire) {
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF
             Ok(n) => {
-                pending.extend_from_slice(&chunk[..n]);
-                // Answer every complete line received so far.
-                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = pending.drain(..=pos).collect();
-                    let text = String::from_utf8_lossy(&line[..line.len() - 1]);
-                    let trimmed = text.trim();
-                    if trimmed.is_empty() {
-                        continue;
+                let frames = match framer.push(&chunk[..n]) {
+                    Ok(frames) => frames,
+                    Err(err) => {
+                        let mut response = service.reject(&err.to_string());
+                        response.push('\n');
+                        let _ = stream.write_all(response.as_bytes());
+                        return; // overflow is connection-fatal
                     }
-                    // A Prometheus scraper speaks HTTP, not JSON lines.
-                    // Answer the request line directly (the headers that
-                    // follow are irrelevant to a scrape) and close, which
-                    // both HTTP/1.0 and `Connection: close` permit.
-                    if let Some(path) = trimmed.strip_prefix("GET ") {
-                        let path = path.split_whitespace().next().unwrap_or("");
-                        let _ = stream.write_all(http_response(path, service).as_bytes());
-                        return;
-                    }
-                    let mut response = service.handle_line(trimmed);
-                    response.push('\n');
-                    if stream.write_all(response.as_bytes()).is_err() {
-                        return; // peer went away
+                };
+                for frame in frames {
+                    match frame {
+                        // A Prometheus scraper speaks HTTP, not JSON lines.
+                        // Answer the request line directly (the headers
+                        // that follow are irrelevant to a scrape) and
+                        // close, which both HTTP/1.0 and
+                        // `Connection: close` permit.
+                        Frame::HttpGet(path) => {
+                            let _ = stream.write_all(http_response(&path, service).as_bytes());
+                            return;
+                        }
+                        Frame::Line(line) => {
+                            let mut response = service.handle_line(&line);
+                            response.push('\n');
+                            if stream.write_all(response.as_bytes()).is_err() {
+                                return; // peer went away
+                            }
+                        }
                     }
                 }
             }
@@ -155,8 +164,8 @@ fn handle_connection(mut stream: TcpStream, service: &Service, stop: &AtomicBool
 
 /// Builds the full HTTP response (status line through body) for a GET.
 /// `/metrics` serves the service registry in Prometheus text format;
-/// anything else is a 404.
-fn http_response(path: &str, service: &Service) -> String {
+/// anything else is a 404. Shared with the reactor transport.
+pub(crate) fn http_response(path: &str, service: &Service) -> String {
     let (status, content_type, body) = if path == "/metrics" {
         ("200 OK", "text/plain; version=0.0.4; charset=utf-8", service.prometheus_text())
     } else {

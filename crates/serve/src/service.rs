@@ -63,6 +63,9 @@ pub struct Service {
     metrics: Arc<Metrics>,
     registry: Arc<obs::Registry>,
     latency: OpLatency,
+    // Same series the micro-batcher reports into; the direct batch path
+    // in `respond_batch` records its forward-pass sizes here too.
+    batch_sizes: Arc<obs::Histogram>,
     refresher: Option<Refresher>,
 }
 
@@ -84,7 +87,8 @@ impl Service {
             rec.histogram("serve_batch_size"),
         );
         let latency = OpLatency::resolve(&registry);
-        Self { store, engine, batcher, metrics, registry, latency, refresher: None }
+        let batch_sizes = registry.histogram("serve_batch_size");
+        Self { store, engine, batcher, metrics, registry, latency, batch_sizes, refresher: None }
     }
 
     /// Attaches a background refresher, enabling the `ingest` op. The
@@ -133,14 +137,24 @@ impl Service {
     /// newline). Never panics on caller input: malformed JSON, unknown
     /// ops, and invalid queries all become `"ok":false` responses.
     pub fn handle_line(&self, line: &str) -> String {
+        match parse_request(line) {
+            Ok(request) => self.respond(request),
+            Err(message) => self.reject(&message),
+        }
+    }
+
+    /// Records a request that failed before dispatch (unparseable line,
+    /// framing overflow) and returns its structured error line. The
+    /// reactor calls this directly because it parses on the event loop
+    /// and only ships valid requests to shard workers.
+    pub fn reject(&self, message: &str) -> String {
+        self.metrics.record(OpKind::Stats, Duration::ZERO, false);
+        error_response(message)
+    }
+
+    /// Dispatches one already-parsed request, with per-op metrics.
+    pub fn respond(&self, request: Request) -> String {
         let started = Instant::now();
-        let request = match parse_request(line) {
-            Ok(r) => r,
-            Err(message) => {
-                self.metrics.record(OpKind::Stats, started.elapsed(), false);
-                return error_response(&message);
-            }
-        };
         let (op, outcome) = self.dispatch(request);
         let ok = outcome.is_ok();
         let response = match outcome {
@@ -151,6 +165,56 @@ impl Service {
         self.metrics.record(op, elapsed, ok);
         self.latency.for_op(op).record_duration(elapsed);
         response
+    }
+
+    /// Dispatches a slice of requests drained together by one shard
+    /// worker, scoring all their `link_score`s in one batched forward
+    /// pass — this is how a shard worker keeps the GEMM amortization of
+    /// the micro-batcher while holding work from many connections at
+    /// once. The drained queue *is* the batch, so the pass runs right
+    /// here on the worker thread: routing it through the micro-batcher's
+    /// scorer thread would only add two handoffs and up to a full linger
+    /// window of latency for a batch that is already complete. Responses
+    /// come back in `requests` order.
+    pub fn respond_batch(&self, requests: Vec<Request>) -> Vec<String> {
+        let mut pairs = Vec::new();
+        let mut slots = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            if let Request::LinkScore { u, v } = *r {
+                slots.push(i);
+                pairs.push((u, v));
+            }
+        }
+        let mut out: Vec<Option<String>> = (0..requests.len()).map(|_| None).collect();
+        // A lone link_score gains nothing from a one-element forward
+        // pass; let it ride the shared micro-batcher below, where it can
+        // coalesce with other shards' and transports' traffic.
+        if pairs.len() >= 2 {
+            let started = Instant::now();
+            let snap = self.store.load();
+            let results = crate::engine::score_pairs(&snap, &pairs);
+            self.metrics.record_batch(pairs.len());
+            self.batch_sizes.record(pairs.len() as u64);
+            // Every request in the group waited for the whole forward
+            // pass, so the group latency is each request's latency.
+            let elapsed = started.elapsed();
+            for (&slot, result) in slots.iter().zip(results) {
+                let ok = result.is_ok();
+                out[slot] = Some(match result {
+                    Ok(score) => {
+                        ok_response(vec![("score", Json::Num(f64::from(score)))], snap.version)
+                    }
+                    Err(e) => error_response(&e.to_string()),
+                });
+                self.metrics.record(OpKind::LinkScore, elapsed, ok);
+                self.latency.for_op(OpKind::LinkScore).record_duration(elapsed);
+            }
+        }
+        requests
+            .into_iter()
+            .zip(out)
+            .map(|(request, done)| done.unwrap_or_else(|| self.respond(request)))
+            .collect()
     }
 
     fn dispatch(&self, request: Request) -> (OpKind, Result<String, String>) {
@@ -288,6 +352,26 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
         }
+    }
+
+    #[test]
+    fn respond_batch_matches_per_request_dispatch() {
+        let svc = service();
+        let lines = [
+            r#"{"op":"link_score","u":1,"v":2}"#,
+            r#"{"op":"embedding","u":3}"#,
+            r#"{"op":"link_score","u":4,"v":5}"#,
+            r#"{"op":"topk","u":0,"k":2}"#,
+            r#"{"op":"link_score","u":0,"v":999}"#, // per-request error
+        ];
+        let requests: Vec<_> =
+            lines.iter().map(|l| crate::protocol::parse_request(l).unwrap()).collect();
+        let batched = svc.respond_batch(requests);
+        let individual: Vec<_> = lines.iter().map(|l| svc.handle_line(l)).collect();
+        assert_eq!(batched, individual);
+        // Both paths counted their requests.
+        assert_eq!(svc.stats().link_score, 6);
+        assert_eq!(svc.stats().errors, 2);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Framing state-machine matrix: every protocol message, split at every
+//! byte boundary, plus coalesced reads and partial-write resumption.
+//!
+//! These tests drive the sans-IO machines ([`LineFramer`], [`WriteBuf`])
+//! directly — no sockets — so the full split matrix runs in
+//! milliseconds. The reactor wires the same structs to nonblocking
+//! `TcpStream`s, so what passes here holds on the wire.
+
+use std::io::{self, Write};
+
+use rwserve::protocol::parse_request;
+use rwserve::reactor::conn::{Frame, FrameError, LineFramer, WriteBuf, MAX_LINE_BYTES};
+
+/// One of each protocol operation, in wire form.
+const MESSAGES: &[&str] = &[
+    r#"{"op":"link_score","u":3,"v":17}"#,
+    r#"{"op":"embedding","u":3}"#,
+    r#"{"op":"topk","u":3,"k":5}"#,
+    r#"{"op":"ingest","edges":[[3,17,0.9],[17,4,0.95]]}"#,
+    r#"{"op":"stats"}"#,
+    r#"{"op":"metrics"}"#,
+];
+
+#[test]
+fn every_message_survives_every_split_point() {
+    for message in MESSAGES {
+        let wire = format!("{message}\n");
+        let bytes = wire.as_bytes();
+        for split in 0..=bytes.len() {
+            let mut framer = LineFramer::new(MAX_LINE_BYTES);
+            let mut frames = Vec::new();
+            frames.extend(framer.push(&bytes[..split]).unwrap());
+            frames.extend(framer.push(&bytes[split..]).unwrap());
+            assert_eq!(
+                frames,
+                vec![Frame::Line((*message).to_string())],
+                "{message:?} split at byte {split}"
+            );
+            let Frame::Line(line) = &frames[0] else { unreachable!() };
+            parse_request(line).unwrap_or_else(|e| panic!("{message:?} at split {split}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn every_message_survives_byte_at_a_time_delivery() {
+    for message in MESSAGES {
+        let wire = format!("{message}\n");
+        let mut framer = LineFramer::new(MAX_LINE_BYTES);
+        let mut frames = Vec::new();
+        for byte in wire.as_bytes() {
+            frames.extend(framer.push(std::slice::from_ref(byte)).unwrap());
+        }
+        assert_eq!(frames, vec![Frame::Line((*message).to_string())], "{message:?} one byte/read");
+        assert_eq!(framer.pending_bytes(), 0);
+    }
+}
+
+#[test]
+fn coalesced_multi_message_read_frames_each_request() {
+    // All six requests arriving in a single read() — the common case
+    // for a pipelining client — must frame into six lines, in order.
+    let wire: String = MESSAGES.iter().map(|m| format!("{m}\n")).collect();
+    let mut framer = LineFramer::new(MAX_LINE_BYTES);
+    let frames = framer.push(wire.as_bytes()).unwrap();
+    assert_eq!(frames.len(), MESSAGES.len());
+    for (frame, message) in frames.iter().zip(MESSAGES) {
+        assert_eq!(frame, &Frame::Line((*message).to_string()));
+    }
+
+    // Same stream with CRLF endings and interleaved blank lines.
+    let wire: String = MESSAGES.iter().map(|m| format!("{m}\r\n\r\n")).collect();
+    let mut framer = LineFramer::new(MAX_LINE_BYTES);
+    let frames = framer.push(wire.as_bytes()).unwrap();
+    assert_eq!(frames.len(), MESSAGES.len(), "blank lines must be skipped, not framed");
+}
+
+#[test]
+fn overflow_is_fatal_even_when_split_across_reads() {
+    let limit = 64;
+    for chunk_size in [1usize, 7, 63, 64, 65, 200] {
+        let mut framer = LineFramer::new(limit);
+        let flood = vec![b'x'; 4 * limit];
+        let mut error = None;
+        for chunk in flood.chunks(chunk_size) {
+            match framer.push(chunk) {
+                Ok(frames) => assert!(frames.is_empty()),
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            error,
+            Some(FrameError::LineTooLong { limit }),
+            "chunk size {chunk_size} never overflowed"
+        );
+        // Poisoned and drained: the oversized tail is not retained.
+        assert_eq!(framer.pending_bytes(), 0);
+        assert!(framer.push(b"{\"op\":\"stats\"}\n").is_err());
+    }
+}
+
+/// Accepts up to `budget` bytes per readiness window, then WouldBlock —
+/// a socket with a pathologically small send buffer.
+struct TinySendBuffer {
+    out: Vec<u8>,
+    window: usize,
+    budget: usize,
+}
+
+impl Write for TinySendBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "send buffer full"));
+        }
+        let n = buf.len().min(self.budget);
+        self.out.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn responses_resume_exactly_after_partial_writes() {
+    // Queue a realistic response burst, then drain it through send
+    // windows of 1..=9 bytes. Whatever the window, the byte stream must
+    // come out identical — partial writes resume, never restart.
+    let responses: Vec<String> =
+        (0..8).map(|i| format!("{{\"ok\":true,\"score\":0.{i},\"version\":{i}}}\n")).collect();
+    let expected: String = responses.concat();
+    for window in 1..=9usize {
+        let mut wb = WriteBuf::new();
+        for response in &responses {
+            wb.push(response.as_bytes());
+        }
+        let mut sink = TinySendBuffer { out: Vec::new(), window, budget: window };
+        let mut rounds = 0;
+        while !wb.flush_to(&mut sink).unwrap() {
+            rounds += 1;
+            assert!(rounds < 10_000, "window {window}: no progress");
+            sink.budget = sink.window; // epoll reports writable again
+        }
+        assert_eq!(sink.out, expected.as_bytes(), "window {window}");
+        assert!(wb.is_empty());
+        assert!(
+            rounds >= expected.len() / window.max(1) - 1,
+            "window {window}: drained in {rounds} rounds — resumption untested"
+        );
+    }
+}
+
+#[test]
+fn write_buf_interleaves_pushes_and_flushes() {
+    // Pushing while earlier bytes are still stuck must append, not clobber.
+    let mut wb = WriteBuf::new();
+    wb.push(b"first\n");
+    let mut sink = TinySendBuffer { out: Vec::new(), window: 4, budget: 4 };
+    assert!(!wb.flush_to(&mut sink).unwrap());
+    wb.push(b"second\n");
+    assert_eq!(wb.pending_bytes(), "t\nsecond\n".len());
+    loop {
+        sink.budget = sink.window;
+        if wb.flush_to(&mut sink).unwrap() {
+            break;
+        }
+    }
+    assert_eq!(sink.out, b"first\nsecond\n");
+}

@@ -1,0 +1,306 @@
+//! End-to-end reactor transport tests over real loopback TCP: ordered
+//! pipelining, concurrent connections, the overflow/shed/idle protection
+//! paths, and HTTP metrics scrapes — all against [`ReactorServer`].
+//!
+//! The shed tests pin down the admission-control contract: past
+//! saturation every request still gets exactly one structured response
+//! (`"error":"overloaded"`) on its own connection, in order — requests
+//! are never silently dropped and connections never torn down.
+
+#![cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use embed::EmbeddingMatrix;
+use nn::{Mlp, OutputHead};
+use par::ParConfig;
+use rwserve::json::Json;
+use rwserve::{BatchPolicy, EmbeddingStore, ReactorConfig, ReactorServer, Service};
+
+const NODES: usize = 24;
+
+fn make_service() -> Arc<Service> {
+    let d = 4;
+    let data: Vec<f32> = (0..NODES * d).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect();
+    let emb = EmbeddingMatrix::from_vec(NODES, d, data);
+    let store =
+        Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 8, 1], OutputHead::Binary, 42)));
+    Arc::new(Service::new(store, ParConfig::with_threads(2), BatchPolicy::default()))
+}
+
+fn start(config: ReactorConfig) -> ReactorServer {
+    ReactorServer::start(make_service(), "127.0.0.1:0", config).expect("start reactor")
+}
+
+fn ask(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(!response.is_empty(), "connection closed after {line:?}");
+    Json::parse(response.trim()).unwrap()
+}
+
+#[test]
+fn serves_queries_over_tcp() {
+    let server = start(ReactorConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let score = ask(&mut reader, &mut stream, r#"{"op":"link_score","u":1,"v":2}"#);
+    assert_eq!(score.get("ok"), Some(&Json::Bool(true)));
+    assert!(score.get("score").and_then(Json::as_f64).is_some());
+
+    let topk = ask(&mut reader, &mut stream, r#"{"op":"topk","u":0,"k":2}"#);
+    assert_eq!(topk.get("neighbors").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+
+    // Parse errors answer inline and the connection survives.
+    let bad = ask(&mut reader, &mut stream, "{not json");
+    assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+    let again = ask(&mut reader, &mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_come_back_in_request_order() {
+    // Requests route to different shards and complete out of order
+    // internally; the reorder buffer must still emit responses in
+    // request order. topk with k = i makes the order observable: the
+    // i-th response must have exactly i neighbors.
+    let server = start(ReactorConfig { shards: 4, ..ReactorConfig::default() });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let burst = 16usize;
+    let mut wire = String::new();
+    for i in 0..burst {
+        let u = i % NODES;
+        wire.push_str(&format!("{{\"op\":\"topk\",\"u\":{u},\"k\":{}}}\n", i + 1));
+    }
+    stream.write_all(wire.as_bytes()).unwrap();
+
+    for i in 0..burst {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "response {i}: {v}");
+        let neighbors = v.get("neighbors").and_then(Json::as_array).map(<[Json]>::len);
+        assert_eq!(neighbors, Some(i + 1), "response {i} out of order: {v}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_connections_are_served() {
+    let server = start(ReactorConfig::default());
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..8u32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for round in 0..5 {
+                    let u = (u64::from(i) * 5 + round) % NODES as u64;
+                    let v = ask(
+                        &mut reader,
+                        &mut stream,
+                        &format!("{{\"op\":\"embedding\",\"u\":{u}}}"),
+                    );
+                    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.service().stats().embedding, 40);
+    server.shutdown();
+}
+
+#[test]
+fn half_close_still_receives_all_responses() {
+    // The `nc <<EOF` pattern: client writes everything, shuts down its
+    // write half, then reads. Every response must still arrive.
+    let server = start(ReactorConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut wire = String::new();
+    for u in 0..10 {
+        wire.push_str(&format!("{{\"op\":\"embedding\",\"u\":{u}}}\n"));
+    }
+    stream.write_all(wire.as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 10, "{body}");
+    for line in lines {
+        assert_eq!(Json::parse(line).unwrap().get("ok"), Some(&Json::Bool(true)));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_line_gets_structured_error_then_close() {
+    let config = ReactorConfig { max_line_bytes: 256, ..ReactorConfig::default() };
+    let server = start(config);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // 4 KiB with no newline: must trip the 256-byte cap.
+    stream.write_all(&vec![b'x'; 4096]).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{v}");
+    assert!(
+        v.get("error").and_then(Json::as_str).unwrap_or("").contains("exceeds 256 bytes"),
+        "{v}"
+    );
+    // ... and the connection is closed afterwards.
+    let mut rest = String::new();
+    reader.read_line(&mut rest).unwrap();
+    assert!(rest.is_empty(), "expected EOF after overflow, got {rest:?}");
+    server.shutdown();
+}
+
+#[test]
+fn shed_path_answers_overloaded_and_never_drops_requests() {
+    // One shard with a budget of 2 and a heavy pipelined burst: the
+    // reactor must shed — but every request still gets exactly one
+    // response, connections stay open, and the queue-depth gauge never
+    // exceeds the budget.
+    let config = ReactorConfig { shards: 1, shard_budget: 2, ..ReactorConfig::default() };
+    let server = start(config);
+    let service = Arc::clone(server.service());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let burst = 400usize;
+    let mut wire = String::new();
+    for i in 0..burst {
+        let (u, v) = (i % NODES, (i + 1) % NODES);
+        wire.push_str(&format!("{{\"op\":\"link_score\",\"u\":{u},\"v\":{v}}}\n"));
+    }
+    stream.write_all(wire.as_bytes()).unwrap();
+
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for i in 0..burst {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection dropped at response {i}");
+        let v = Json::parse(line.trim()).unwrap();
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            ok += 1;
+        } else {
+            assert_eq!(
+                v.get("error").and_then(Json::as_str),
+                Some("overloaded"),
+                "non-overload error under load: {v}"
+            );
+            assert!(v.get("detail").and_then(Json::as_str).is_some(), "{v}");
+            overloaded += 1;
+        }
+    }
+    assert_eq!(ok + overloaded, burst, "every request answered exactly once");
+    assert!(ok > 0, "nothing succeeded under load");
+
+    let snapshot = service.registry().snapshot();
+    let depth = snapshot.gauge("serve_shard_queue_depth{shard=\"0\"}").unwrap_or(0);
+    assert!(depth <= 2, "queue depth {depth} exceeded the admission budget");
+    if overloaded > 0 {
+        let shed = snapshot.counter("serve_shed_total").unwrap_or(0);
+        assert!(shed as usize >= overloaded, "shed counter {shed} < {overloaded} responses");
+    }
+
+    // The connection survives shedding: a fresh request round-trips.
+    let v = ask(&mut reader, &mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_new_connections_with_a_structured_line() {
+    let config = ReactorConfig { max_conns: 1, ..ReactorConfig::default() };
+    let server = start(config);
+    let mut first = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(first.try_clone().unwrap());
+    // Round-trip so the first connection is registered before the second
+    // arrives.
+    let v = ask(&mut reader, &mut first, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+
+    let mut second = TcpStream::connect(server.local_addr()).unwrap();
+    let mut body = String::new();
+    second.read_to_string(&mut body).unwrap(); // server closes after the notice
+    let v = Json::parse(body.trim()).unwrap();
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"), "{body:?}");
+    assert!(v.get("detail").and_then(Json::as_str).unwrap_or("").contains("connection limit"));
+
+    // The registered connection is unaffected.
+    let v = ask(&mut reader, &mut first, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_time_out_with_a_notice() {
+    let config =
+        ReactorConfig { idle_timeout: Duration::from_millis(300), ..ReactorConfig::default() };
+    let server = start(config);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let v = ask(&mut reader, &mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+
+    // Go silent; the sweep (every ~100 ms) should close us with a notice.
+    let mut line = String::new();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert!(v.get("error").and_then(Json::as_str).unwrap_or("").contains("idle timeout"), "{v}");
+    let mut rest = String::new();
+    reader.read_line(&mut rest).unwrap();
+    assert!(rest.is_empty(), "expected EOF after idle close");
+
+    let snapshot = server.service().registry().snapshot();
+    assert!(snapshot.counter("serve_conn_idle_closed_total").unwrap_or(0) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn http_get_metrics_scrapes_over_the_reactor() {
+    let server = start(ReactorConfig::default());
+    // Prime a counter on a JSON-lines connection first.
+    {
+        let mut json = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(json.try_clone().unwrap());
+        ask(&mut reader, &mut json, r#"{"op":"link_score","u":1,"v":2}"#);
+    }
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert!(body.contains(r#"serve_request_ns_count{op="link_score"} 1"#), "{body}");
+    // The reactor's own metrics are in the same registry.
+    assert!(body.contains("serve_connections_accepted_total"), "{body}");
+    assert!(body.contains("serve_reactor_loop_ns"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_converges_with_open_connections() {
+    let server = start(ReactorConfig::default());
+    let _idle = TcpStream::connect(server.local_addr()).unwrap();
+    let mut busy = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(busy.try_clone().unwrap());
+    let v = ask(&mut reader, &mut busy, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown(); // must join reactor + shard workers promptly
+}
