@@ -1,0 +1,221 @@
+//! Fused-pipeline gate: the streaming walk→train pipeline (RW-P1 and
+//! RW-P2 overlapped behind the bounded corpus channel) must beat the
+//! sequential materialize-then-train path by ≥ 1.3× end-to-end on the
+//! 150k-node PA softmax workload, and must save at least the corpus size
+//! in peak resident memory.
+//!
+//! This is the enforcement half of the fused pipeline's design contract
+//! (DESIGN.md §16): with one word2vec epoch the sequential path costs
+//! `walk + train` while the fused path costs `max(walk, train)` plus the
+//! sampler-preparation prologue, and the fused path never materializes
+//! the walk corpus, so its high-water mark is lower by the corpus bytes.
+//!
+//! Measurement protocol: `VmHWM` is monotone over the process lifetime,
+//! so the *fused* configuration (the lower-memory candidate) runs first
+//! — warmup included — and its peak is read before the first sequential
+//! run materializes a corpus. Speedup is gated min-of-N, retried up to
+//! three attempts to ride out shared-runner CPU steal (steal can only
+//! deflate the ratio, never inflate it). Results append to `$BENCH_JSON`
+//! in the shim's JSON-lines schema; the RSS rows reuse the `*_ns` fields
+//! to carry bytes, like the loadgen depth rows.
+//!
+//! Knobs: `--test` shrinks the graph and drops the gates to sanity
+//! levels; `FUSED_SPEEDUP_MIN` overrides the required ratio and
+//! `FUSED_RSS_CHECK=off` skips the memory assertion (CI uses defaults).
+//! On a single-CPU host the overlap contract is unmeasurable (nothing
+//! can run concurrently), so the speedup gate degrades to a
+//! no-slowdown-cliff bound; the memory gate is hardware-independent and
+//! always enforced.
+
+use std::time::{Duration, Instant};
+
+use rwalk_core::{FusedMode, Hyperparams, Pipeline};
+use std::hint::black_box;
+
+/// One embedding-phase pass (RW-P1 + RW-P2, the region fusion changes).
+fn run(p: &Pipeline, g: &tgraph::TemporalGraph) -> Duration {
+    let t0 = Instant::now();
+    black_box(p.embeddings(g));
+    t0.elapsed()
+}
+
+fn append_json(name: &str, samples: usize, min: u128, mean: u128, max: u128) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("BENCH_JSON").filter(|p| !p.is_empty()) else {
+        return;
+    };
+    let line = format!(
+        "{{\"bench\":\"{name}\",\"samples\":{samples},\"min_ns\":{min},\"mean_ns\":{mean},\"max_ns\":{max}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("BENCH_JSON: could not append: {e}");
+    }
+}
+
+fn stats(times: &[Duration]) -> (Duration, Duration, Duration) {
+    let min = *times.iter().min().unwrap();
+    let max = *times.iter().max().unwrap();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    (min, mean, max)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (nodes, reps, tag) = if test_mode { (8_000, 2, "pa8k") } else { (150_000, 5, "pa150k") };
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // The 1.3× contract is sized for the real workload, where walk and
+    // train are both seconds long — and it needs hardware parallelism:
+    // on a single CPU the walk producer and the trainer time-slice one
+    // core, so the best possible outcome is parity minus channel
+    // overhead, and the gate degrades to a no-slowdown-cliff bound. The
+    // smoke graph likewise only checks that both modes run and that
+    // fusion is not a cliff.
+    let default_speedup = if test_mode {
+        0.5
+    } else if cpus < 2 {
+        0.75
+    } else {
+        1.3
+    };
+    let min_speedup: f64 = std::env::var("FUSED_SPEEDUP_MIN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_speedup);
+    let rss_check = !test_mode
+        && std::env::var("FUSED_RSS_CHECK").map_or(true, |v| !v.eq_ignore_ascii_case("off"));
+
+    // The engine-bench workload (DESIGN.md §13.5): sparse degree-skewed
+    // PA graph with the compute-heavy softmax sampler, paper-optimal
+    // walk budget. One word2vec epoch so sequential = walk + train and
+    // fused = max(walk, train); more epochs shrink the overlappable
+    // fraction (the corpus is re-walked per epoch) without changing the
+    // memory contract.
+    let g = tgraph::gen::preferential_attachment(nodes, 3, 9).undirected(true).build();
+    let mut hp = Hyperparams::paper_optimal().with_seed(9);
+    hp.w2v_epochs = 1;
+    let fused = Pipeline::new(hp.clone().with_fused(FusedMode::On));
+    let sequential = Pipeline::new(hp.clone().with_fused(FusedMode::Off));
+    assert!(fused.fuses_for(&g), "forced-on fusion must engage on this workload");
+    assert!(!sequential.fuses_for(&g), "forced-off fusion must stay sequential");
+
+    // Fused block first, warmup included: once a sequential run has
+    // materialized a corpus the process HWM can never again show the
+    // fused footprint.
+    let _ = run(&fused, &g);
+    let mut fused_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        fused_times.push(run(&fused, &g));
+    }
+    let rss_fused = obs::peak_rss_bytes();
+
+    let _ = run(&sequential, &g);
+    let mut seq_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        seq_times.push(run(&sequential, &g));
+    }
+    let rss_seq = obs::peak_rss_bytes();
+
+    // Retries for the timing gate only — the RSS numbers are already
+    // settled and interleaving is now safe (and fairer under noise).
+    const ATTEMPTS: usize = 3;
+    let mut speedup = stats(&seq_times).0.as_secs_f64() / stats(&fused_times).0.as_secs_f64();
+    println!("attempt 1/{ATTEMPTS}: speedup {speedup:.2}x");
+    for attempt in 2..=ATTEMPTS {
+        if speedup >= min_speedup {
+            break;
+        }
+        let mut f2 = Vec::with_capacity(reps);
+        let mut s2 = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            f2.push(run(&fused, &g));
+            s2.push(run(&sequential, &g));
+        }
+        let again = stats(&s2).0.as_secs_f64() / stats(&f2).0.as_secs_f64();
+        println!("attempt {attempt}/{ATTEMPTS}: speedup {again:.2}x");
+        if again > speedup {
+            speedup = again;
+            fused_times = f2;
+            seq_times = s2;
+        }
+    }
+
+    let (f_min, f_mean, f_max) = stats(&fused_times);
+    let (s_min, s_mean, s_max) = stats(&seq_times);
+    append_json(
+        &format!("rwalk/fused/sequential/{tag}"),
+        reps,
+        s_min.as_nanos(),
+        s_mean.as_nanos(),
+        s_max.as_nanos(),
+    );
+    append_json(
+        &format!("rwalk/fused/fused/{tag}"),
+        reps,
+        f_min.as_nanos(),
+        f_mean.as_nanos(),
+        f_max.as_nanos(),
+    );
+
+    // The corpus the sequential path materializes, measured after both
+    // timing blocks so the walk itself cannot disturb the HWM protocol.
+    let walks = sequential.walks(&g);
+    let corpus_bytes =
+        (walks.total_vertices() * size_of::<u32>() + walks.num_walks() * size_of::<u32>()) as u64;
+    drop(walks);
+    println!(
+        "fused gate: sequential min {:.3} s, fused min {:.3} s, speedup {speedup:.2}x \
+         (required {min_speedup}x on {cpus} CPU(s)); corpus {:.1} MiB",
+        s_min.as_secs_f64(),
+        f_min.as_secs_f64(),
+        corpus_bytes as f64 / (1 << 20) as f64,
+    );
+
+    if let (Some(fused_hwm), Some(seq_hwm)) = (rss_fused, rss_seq) {
+        let saved = seq_hwm.saturating_sub(fused_hwm);
+        // The corpus does not map 1:1 onto fresh pages: part of it lands
+        // in arena pages the fused phase's transients already made
+        // resident, so the HWM delta undercuts the corpus size by a few
+        // percent. 85% separates "never materialized" from "still
+        // materialized somewhere" without flaking on allocator reuse.
+        let rss_floor = corpus_bytes * 85 / 100;
+        append_json(
+            &format!("rwalk/fused/peak_rss_fused_bytes/{tag}"),
+            1,
+            fused_hwm.into(),
+            fused_hwm.into(),
+            fused_hwm.into(),
+        );
+        append_json(
+            &format!("rwalk/fused/peak_rss_sequential_bytes/{tag}"),
+            1,
+            seq_hwm.into(),
+            seq_hwm.into(),
+            seq_hwm.into(),
+        );
+        println!(
+            "peak RSS: fused {:.1} MiB, sequential {:.1} MiB, saved {:.1} MiB",
+            fused_hwm as f64 / (1 << 20) as f64,
+            seq_hwm as f64 / (1 << 20) as f64,
+            saved as f64 / (1 << 20) as f64,
+        );
+        assert!(
+            !rss_check || saved >= rss_floor,
+            "sequential HWM exceeds fused HWM by only {saved} bytes — under 85% of the \
+             {corpus_bytes}-byte corpus the fused path is supposed to never materialize"
+        );
+    } else {
+        assert!(!rss_check, "peak-RSS gate requested but VmHWM is unavailable on this platform");
+        println!("peak RSS unavailable on this platform; memory gate skipped");
+    }
+
+    assert!(
+        speedup >= min_speedup,
+        "fused pipeline is only {speedup:.2}x faster than sequential (need {min_speedup}x): \
+         sequential min {s_min:?}, fused min {f_min:?}"
+    );
+}

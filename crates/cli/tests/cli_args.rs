@@ -29,6 +29,9 @@ fn rejected_flag_combinations_fail_with_explanations() {
         (&["linkpred", "--engine", "gpu"], "unknown engine"),
         (&["linkpred", "--sampler-method", "vose"], "unknown sampling method"),
         (&["linkpred", "--sampler-method", "vose"], "auto, cdf, alias, rejection"),
+        (&["linkpred", "--fused", "yes"], "valid values: on, off, auto"),
+        (&["linkpred", "--fused", ""], "--fused"),
+        (&["linkpred", "--fused"], "--fused needs a value"),
         // Forcing a table method on a closed-form bias is a cross-flag
         // error caught at parse time, whichever order the flags come in.
         (&["linkpred", "--sampler", "uniform", "--sampler-method", "alias"], "closed form"),
@@ -132,6 +135,9 @@ fn accepted_spellings_are_case_and_separator_insensitive() {
         ["datasets", "--engine", "Interleaved"],
         ["datasets", "--sampler-method", "ALIAS"],
         ["datasets", "--sampler-method", " Rejection "],
+        ["datasets", "--fused", "ON"],
+        ["datasets", "--fused", " Off "],
+        ["datasets", "--fused", "auto"],
     ] {
         let out = rwalk(&args);
         assert!(out.status.success(), "rwalk {args:?} failed: {}", stderr(&out));

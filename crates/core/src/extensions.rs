@@ -125,6 +125,7 @@ impl Pipeline {
                 train_total: train_report.total_time,
                 train_per_epoch: train_report.mean_epoch_time(),
                 test: test_time,
+                fused: None,
             },
             walk_stats,
             sampler_build: walks.sampler_stats(),

@@ -38,11 +38,13 @@ mod config;
 mod embedding;
 pub mod io;
 mod model;
+mod stream;
 mod table;
 mod train;
 
 pub use config::{Layout, Reduction, Word2VecConfig};
 pub use embedding::EmbeddingMatrix;
 pub use model::SharedMatrix;
+pub use stream::StreamTrainer;
 pub use table::{NegativeTable, SigmoidTable};
-pub use train::{train, train_batched, train_from, train_locked, BatchRunStats};
+pub use train::{train, train_batched, train_from, train_locked, BatchRunStats, SentenceSource};

@@ -1,0 +1,385 @@
+//! Streaming SGNS consumer for the fused walk→train pipeline.
+//!
+//! [`StreamTrainer`] is the trainer half of DESIGN.md §16: hogwild workers
+//! pop [`WalkChunk`]s from a bounded channel as walk workers produce them,
+//! so training starts on the first chunk and the corpus never materializes.
+//! Hogwild already tolerates arbitrary *update* interleaving across
+//! threads; consuming sentences in chunk-arrival order is the same
+//! relaxation one level up, and every sentence keeps the exact RNG stream
+//! (`seed, epoch, global sentence index`) the batch trainer would give it.
+//!
+//! Two quantities the batch trainer reads off the materialized corpus up
+//! front are necessarily approximated while streaming epoch 0:
+//!
+//! * **Learning-rate schedule** — the token-total denominator is the upper
+//!   bound `total_walks × max_length × epochs` instead of the exact count,
+//!   so the linear decay runs slightly slower (never faster; the `min_lr`
+//!   floor is unchanged). Temporal walks terminate early, so the bound is
+//!   loose exactly when walks are short — which is also when the corpus is
+//!   small and extra learning rate is harmless.
+//! * **Negative table** — built from the tokens seen so far: first from
+//!   the opening chunk, rebuilt at geometrically spaced token milestones
+//!   (each rebuild is `O(table)`, so total rebuild work stays `O(table ×
+//!   log corpus)`). After epoch 0 the accumulated counts *are* the exact
+//!   corpus counts, so epochs ≥ 1 sample from precisely the table the
+//!   batch trainer uses.
+//!
+//! Both approximations touch sampling distributions, not model mechanics;
+//! the fused-vs-sequential quality test pins their effect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use par::{BoundedQueue, ParConfig};
+use twalk::{WalkChunk, WalkRng};
+
+use crate::train::train_sentence;
+use crate::{EmbeddingMatrix, NegativeTable, SharedMatrix, SigmoidTable, Word2VecConfig};
+
+/// Hogwild SGNS over a stream of walk chunks.
+///
+/// Model state (both embedding matrices, token counts, the decayed-lr
+/// clock) lives across epochs; each [`run_epoch`] call drains one
+/// channel's worth of chunks. The driver re-produces the same determinstic
+/// walk stream every epoch (walks are bit-exact in their RNG streams), so
+/// replay needs no spill buffer.
+///
+/// [`run_epoch`]: StreamTrainer::run_epoch
+pub struct StreamTrainer {
+    cfg: Word2VecConfig,
+    num_nodes: usize,
+    syn0: SharedMatrix,
+    syn1: SharedMatrix,
+    sigmoid: SigmoidTable,
+    /// Learning-rate denominator: `total_walks × max_length × epochs`.
+    lr_denom: u64,
+    /// Tokens consumed across all epochs (the lr clock).
+    processed: AtomicU64,
+    /// Per-vertex token counts, accumulated during epoch 0 only.
+    counts: Vec<AtomicU64>,
+    /// Corpus shape accumulated during epoch 0 only.
+    tokens_seen: AtomicU64,
+    sentences_seen: AtomicU64,
+    chunks_seen: AtomicU64,
+    length_hist: Vec<AtomicU64>,
+    /// Current negative table (`None` until the first chunk lands).
+    table: RwLock<Option<Arc<NegativeTable>>>,
+    /// Token milestone for the next streaming table rebuild.
+    next_rebuild: AtomicU64,
+    /// Total nanoseconds consumers spent blocked on an empty channel —
+    /// always accumulated for honest phase attribution.
+    stall_ns: AtomicU64,
+}
+
+impl StreamTrainer {
+    /// Creates a trainer for a stream of `total_walks` walks of at most
+    /// `max_length` vertices (the walk configuration's `K · |V|` and `N` —
+    /// known before any walk runs).
+    pub fn new(
+        num_nodes: usize,
+        cfg: &Word2VecConfig,
+        total_walks: usize,
+        max_length: usize,
+    ) -> Self {
+        let stride = cfg.stride();
+        Self {
+            cfg: cfg.clone(),
+            num_nodes,
+            syn0: SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed),
+            syn1: SharedMatrix::zeros(num_nodes, cfg.dim, stride),
+            sigmoid: SigmoidTable::default(),
+            lr_denom: (total_walks * max_length * cfg.epochs).max(1) as u64,
+            processed: AtomicU64::new(0),
+            counts: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            tokens_seen: AtomicU64::new(0),
+            sentences_seen: AtomicU64::new(0),
+            chunks_seen: AtomicU64::new(0),
+            length_hist: (0..=max_length).map(|_| AtomicU64::new(0)).collect(),
+            table: RwLock::new(None),
+            next_rebuild: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumes one epoch's chunk stream with `par.threads()` hogwild
+    /// workers, returning when the channel reports end-of-stream. After
+    /// epoch 0 the negative table is rebuilt exactly from the now-complete
+    /// corpus counts.
+    pub fn run_epoch(&self, queue: &BoundedQueue<WalkChunk>, epoch: usize, par: &ParConfig) {
+        let rec = obs::Recorder::global();
+        let epoch_t0 = rec.is_enabled().then(Instant::now);
+        let steps_ctr = rec.counter("embed_grad_steps_total");
+        let draws_ctr = rec.counter("embed_negative_draws_total");
+        let stall_hist = rec.histogram("pipeline_consumer_stall_ns");
+        std::thread::scope(|s| {
+            for _ in 0..par.threads().max(1) {
+                s.spawn(|| loop {
+                    // Fast path first so only genuine starvation is timed.
+                    let chunk = match queue.try_pop() {
+                        Some(c) => c,
+                        None => {
+                            let t0 = Instant::now();
+                            let popped = queue.pop();
+                            let stalled = t0.elapsed();
+                            self.stall_ns.fetch_add(stalled.as_nanos() as u64, Ordering::Relaxed);
+                            if stall_hist.is_enabled() {
+                                stall_hist.record_duration(stalled);
+                            }
+                            match popped {
+                                Some(c) => c,
+                                None => break,
+                            }
+                        }
+                    };
+                    let (steps, draws) = self.train_chunk(&chunk, epoch);
+                    steps_ctr.add(steps);
+                    draws_ctr.add(draws);
+                });
+            }
+        });
+        if epoch == 0 {
+            // The stream has fully passed once: the accumulated counts are
+            // the exact corpus counts, so later epochs sample from the
+            // very table the batch trainer would build.
+            self.rebuild_table();
+        }
+        if let Some(t0) = epoch_t0 {
+            rec.histogram("embed_epoch_ns").record_duration(t0.elapsed());
+            rec.counter("embed_tokens_total").add(self.tokens_seen.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Trains every sentence of one chunk; returns `(steps, draws)`.
+    fn train_chunk(&self, chunk: &WalkChunk, epoch: usize) -> (u64, u64) {
+        if epoch == 0 {
+            for i in 0..chunk.num_walks() {
+                for &v in chunk.walk(i) {
+                    self.counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                self.length_hist[chunk.walk(i).len()].fetch_add(1, Ordering::Relaxed);
+            }
+            self.tokens_seen.fetch_add(chunk.total_vertices() as u64, Ordering::Relaxed);
+            self.sentences_seen.fetch_add(chunk.num_walks() as u64, Ordering::Relaxed);
+            self.maybe_rebuild_table();
+        }
+        self.chunks_seen.fetch_add(1, Ordering::Relaxed);
+        let table =
+            self.table.read().unwrap().clone().expect("table exists once any chunk was counted");
+        let mut steps = 0u64;
+        let mut draws = 0u64;
+        for i in 0..chunk.num_walks() {
+            let walk = chunk.walk(i);
+            let done = self.processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+            let lr = (self.cfg.initial_lr * (1.0 - done as f32 / self.lr_denom as f32))
+                .max(self.cfg.min_lr);
+            // Same per-sentence RNG stream as the batch trainer: keyed by
+            // the *global* sentence index the chunk carries.
+            let mut rng =
+                WalkRng::from_stream(self.cfg.seed, epoch as u64, (chunk.start + i) as u64);
+            let (s, d) = train_sentence(
+                walk,
+                &self.syn0,
+                &self.syn1,
+                &table,
+                &self.sigmoid,
+                &self.cfg,
+                lr,
+                &mut rng,
+            );
+            steps += s;
+            draws += d;
+        }
+        (steps, draws)
+    }
+
+    /// Streaming-rebuild policy: first chunk builds the table, then one
+    /// worker rebuilds whenever seen tokens double past the last
+    /// milestone. The compare-exchange elects the rebuilder; losers keep
+    /// training on the previous table.
+    fn maybe_rebuild_table(&self) {
+        let seen = self.tokens_seen.load(Ordering::Relaxed);
+        let due = self.next_rebuild.load(Ordering::Relaxed);
+        if seen < due.max(1) {
+            return;
+        }
+        if self
+            .next_rebuild
+            .compare_exchange(due, seen.saturating_mul(2), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.rebuild_table();
+        }
+    }
+
+    /// Rebuilds the negative table from the current counts snapshot.
+    fn rebuild_table(&self) {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        if counts.iter().all(|&c| c == 0) {
+            return; // nothing seen yet (empty stream)
+        }
+        let table =
+            NegativeTable::from_counts(&counts, NegativeTable::recommended_size(self.num_nodes));
+        *self.table.write().unwrap() = Some(Arc::new(table));
+    }
+
+    /// Walk-length histogram of the streamed corpus (index = length),
+    /// complete once epoch 0 has run.
+    pub fn length_histogram(&self) -> Vec<u64> {
+        self.length_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Tokens seen in one pass of the stream (epoch 0).
+    pub fn tokens_seen(&self) -> u64 {
+        self.tokens_seen.load(Ordering::Relaxed)
+    }
+
+    /// Sentences seen in one pass of the stream (epoch 0).
+    pub fn sentences_seen(&self) -> u64 {
+        self.sentences_seen.load(Ordering::Relaxed)
+    }
+
+    /// Chunks consumed across all epochs.
+    pub fn chunks_seen(&self) -> u64 {
+        self.chunks_seen.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative time consumers spent blocked on an empty channel,
+    /// summed across workers and epochs.
+    pub fn stalled(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.stall_ns.load(Ordering::Relaxed))
+    }
+
+    /// Finalizes the input-side embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream contained no sentences (mirrors the batch
+    /// trainer's empty-corpus contract).
+    pub fn finish(self) -> EmbeddingMatrix {
+        assert!(self.sentences_seen.load(Ordering::Relaxed) > 0, "empty corpus");
+        EmbeddingMatrix::from_vec(self.num_nodes, self.cfg.dim, self.syn0.to_dense())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twalk::WalkSet;
+
+    /// Pushes a walk set through the trainer as chunks of `chunk_walks`.
+    fn stream_epochs(
+        corpus: &WalkSet,
+        num_nodes: usize,
+        cfg: &Word2VecConfig,
+        chunk_walks: usize,
+        threads: usize,
+    ) -> EmbeddingMatrix {
+        let trainer = StreamTrainer::new(num_nodes, cfg, corpus.num_walks(), corpus.max_length());
+        let par = ParConfig::with_threads(threads);
+        for epoch in 0..cfg.epochs {
+            let queue = BoundedQueue::new(2);
+            std::thread::scope(|s| {
+                let guard = queue.register_producer();
+                s.spawn(|| {
+                    let _guard = guard;
+                    let mut start = 0;
+                    while start < corpus.num_walks() {
+                        let end = (start + chunk_walks).min(corpus.num_walks());
+                        let nl = corpus.max_length();
+                        let mut nodes = vec![0; (end - start) * nl];
+                        let mut lengths = Vec::new();
+                        for i in start..end {
+                            let w = corpus.walk(i);
+                            nodes[(i - start) * nl..(i - start) * nl + w.len()].copy_from_slice(w);
+                            lengths.push(w.len() as u32);
+                        }
+                        queue.push(WalkChunk { start, max_length: nl, nodes, lengths }).unwrap();
+                        start = end;
+                    }
+                });
+                trainer.run_epoch(&queue, epoch, &par);
+            });
+        }
+        trainer.finish()
+    }
+
+    fn two_community_corpus() -> (WalkSet, usize) {
+        let mut walks = Vec::new();
+        for rep in 0..60u32 {
+            let a = rep % 5;
+            walks.push(vec![a, (a + 1) % 5, (a + 2) % 5, (a + 3) % 5]);
+            walks.push(vec![5 + a, 5 + (a + 1) % 5, 5 + (a + 2) % 5, 5 + (a + 3) % 5]);
+        }
+        (WalkSet::from_walks(&walks, 4), 10)
+    }
+
+    #[test]
+    fn streamed_training_separates_communities() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().dim(8).epochs(8).seed(1);
+        let emb = stream_epochs(&corpus, n, &cfg, 16, 4);
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                let sim = emb.cosine(a, b);
+                if (a < 5) == (b < 5) {
+                    intra.push(sim);
+                } else {
+                    inter.push(sim);
+                }
+            }
+        }
+        let intra = intra.iter().sum::<f32>() / intra.len() as f32;
+        let inter = inter.iter().sum::<f32>() / inter.len() as f32;
+        assert!(intra > inter + 0.2, "streamed: intra {intra} not separated from inter {inter}");
+    }
+
+    #[test]
+    fn stream_stats_track_the_corpus_shape() {
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().epochs(2).seed(3);
+        let trainer = StreamTrainer::new(n, &cfg, corpus.num_walks(), corpus.max_length());
+        let par = ParConfig::with_threads(2);
+        for epoch in 0..cfg.epochs {
+            let queue = BoundedQueue::new(4);
+            std::thread::scope(|s| {
+                let guard = queue.register_producer();
+                s.spawn(|| {
+                    let _guard = guard;
+                    for (i, w) in corpus.iter().enumerate() {
+                        let mut nodes = vec![0; corpus.max_length()];
+                        nodes[..w.len()].copy_from_slice(w);
+                        let chunk = WalkChunk {
+                            start: i,
+                            max_length: corpus.max_length(),
+                            nodes,
+                            lengths: vec![w.len() as u32],
+                        };
+                        queue.push(chunk).unwrap();
+                    }
+                });
+                trainer.run_epoch(&queue, epoch, &par);
+            });
+        }
+        // Epoch-0 shape accounting matches the materialized corpus; chunks
+        // accumulate across both epochs.
+        assert_eq!(trainer.tokens_seen(), corpus.total_vertices() as u64);
+        assert_eq!(trainer.sentences_seen(), corpus.num_walks() as u64);
+        assert_eq!(trainer.chunks_seen(), 2 * corpus.num_walks() as u64);
+        assert_eq!(trainer.length_histogram(), corpus.length_histogram());
+        let _ = trainer.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_stream_panics_at_finish() {
+        let trainer = StreamTrainer::new(4, &Word2VecConfig::default(), 8, 4);
+        let queue = BoundedQueue::<WalkChunk>::new(2);
+        let guard = queue.register_producer();
+        drop(guard);
+        trainer.run_epoch(&queue, 0, &ParConfig::with_threads(1));
+        let _ = trainer.finish();
+    }
+}

@@ -15,6 +15,58 @@ use crate::{
     EmbeddingMatrix, NegativeTable, Reduction, SharedMatrix, SigmoidTable, Word2VecConfig,
 };
 
+/// A corpus of vertex-id sentences the trainer can index.
+///
+/// The batch trainer only ever asks three things of its corpus: how many
+/// sentences, the tokens of sentence `i`, and the token total for the
+/// learning-rate schedule. Abstracting them lets the same inner loop run
+/// over a materialized [`WalkSet`] (the trivial impl every public `train*`
+/// entry point uses — behavior-identical to indexing the set directly) or
+/// any other random-access sentence store.
+///
+/// The *streamed* corpus of the fused pipeline is intentionally not a
+/// `SentenceSource` — chunks arrive once and in no particular order, so it
+/// trains through [`crate::StreamTrainer`] instead.
+pub trait SentenceSource {
+    /// Number of sentences in the corpus.
+    fn num_sentences(&self) -> usize;
+
+    /// The `i`-th sentence as a token slice (`i < num_sentences()`).
+    fn sentence(&self, i: usize) -> &[tgraph::NodeId];
+
+    /// Total token occurrences across all sentences.
+    fn total_tokens(&self) -> usize;
+}
+
+impl SentenceSource for WalkSet {
+    fn num_sentences(&self) -> usize {
+        self.num_walks()
+    }
+
+    fn sentence(&self, i: usize) -> &[tgraph::NodeId] {
+        self.walk(i)
+    }
+
+    fn total_tokens(&self) -> usize {
+        self.total_vertices()
+    }
+}
+
+/// Per-vertex token counts of a corpus — the [`NegativeTable`] input.
+///
+/// # Panics
+///
+/// Panics if any token is `>= num_nodes`.
+pub(crate) fn token_counts<S: SentenceSource + ?Sized>(corpus: &S, num_nodes: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_nodes];
+    for i in 0..corpus.num_sentences() {
+        for &v in corpus.sentence(i) {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
 /// Throughput accounting for a batched run (feeds the Fig. 5 study, where
 /// each batch corresponds to one GPU kernel launch).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,8 +174,8 @@ pub fn train_locked(
 /// table / decayed-lr accounting exactly once, optionally seeds a warm
 /// start, and runs the epoch × batch loop (optionally serialized by a
 /// global mutex for the locking ablation).
-fn run_training(
-    corpus: &WalkSet,
+fn run_training<S: SentenceSource + Sync>(
+    corpus: &S,
     num_nodes: usize,
     cfg: &Word2VecConfig,
     par: &ParConfig,
@@ -132,7 +184,7 @@ fn run_training(
     serialize: bool,
 ) -> (EmbeddingMatrix, BatchRunStats) {
     assert!(batch_size > 0, "batch size must be positive");
-    let n_sentences = corpus.num_walks();
+    let n_sentences = corpus.num_sentences();
     assert!(n_sentences > 0, "empty corpus");
     if let Some(initial) = warm_start {
         assert_eq!(cfg.dim, initial.dim(), "dimension mismatch with initial embeddings");
@@ -141,7 +193,7 @@ fn run_training(
             "node count shrank below the initial embedding table"
         );
     }
-    let total_tokens = corpus.total_vertices() * cfg.epochs;
+    let total_tokens = corpus.total_tokens() * cfg.epochs;
 
     let stride = cfg.stride();
     let syn0 = SharedMatrix::uniform_init(num_nodes, cfg.dim, stride, cfg.seed);
@@ -153,8 +205,12 @@ fn run_training(
         }
     }
     let syn1 = SharedMatrix::zeros(num_nodes, cfg.dim, stride);
-    let table =
-        NegativeTable::from_corpus(corpus, num_nodes, NegativeTable::recommended_size(num_nodes));
+    // Same construction `NegativeTable::from_corpus` performs, routed
+    // through the source abstraction: count, then quantize.
+    let table = NegativeTable::from_counts(
+        &token_counts(corpus, num_nodes),
+        NegativeTable::recommended_size(num_nodes),
+    );
     let sigmoid = SigmoidTable::default();
     let processed = AtomicU64::new(0);
     let lock = serialize.then(|| Mutex::new(()));
@@ -186,7 +242,7 @@ fn run_training(
                 let mut chunk_draws = 0u64;
                 for i in cs..ce {
                     let s = lo + i;
-                    let walk = corpus.walk(s);
+                    let walk = corpus.sentence(s);
                     let done = processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
                     let lr = (cfg.initial_lr * (1.0 - done as f32 / total_tokens.max(1) as f32))
                         .max(cfg.min_lr);
@@ -204,7 +260,7 @@ fn run_training(
         }
         if let Some(t0) = epoch_t0 {
             epoch_hist.record_duration(t0.elapsed());
-            tokens_ctr.add(corpus.total_vertices() as u64);
+            tokens_ctr.add(corpus.total_tokens() as u64);
         }
     }
 
@@ -235,7 +291,7 @@ thread_local! {
 /// accounting — tallied in registers alongside the dim-wide FP work, so
 /// the cost is unmeasurable whether or not anyone consumes them.
 #[allow(clippy::too_many_arguments)]
-fn train_sentence(
+pub(crate) fn train_sentence(
     walk: &[tgraph::NodeId],
     syn0: &SharedMatrix,
     syn1: &SharedMatrix,

@@ -61,6 +61,21 @@ pub fn global_registry() -> Arc<Registry> {
     Arc::clone(&GLOBAL_REGISTRY)
 }
 
+/// This process's peak resident set size (`VmHWM`) in bytes, read from
+/// `/proc/self/status`. `None` off Linux or when the field is missing.
+///
+/// The high-water mark is monotone over the process lifetime — it can
+/// only tell *which earlier allocation was largest*, so comparative
+/// measurements (e.g. fused vs sequential pipeline) must run the
+/// lower-memory candidate first.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: "VmHWM:   123456 kB".
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// Entry point for instrumentation: either a no-op or a binding to one
 /// [`Registry`]. Cheap to clone (an `Option<Arc>`).
 #[derive(Debug, Clone, Default)]
@@ -288,6 +303,18 @@ mod tests {
         let rec = Recorder::with_registry(Arc::clone(&reg));
         rec.span("phase_ns{phase=\"x\"}").stop();
         assert_eq!(reg.snapshot().histogram("phase_ns{phase=\"x\"}").unwrap().count, 1);
+    }
+
+    #[cfg(not(miri))] // reads /proc
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            let hwm = peak_rss_bytes().expect("Linux exposes VmHWM");
+            // A running test binary occupies at least a megabyte and the
+            // value is kB-granular.
+            assert!(hwm >= 1 << 20, "implausible VmHWM {hwm}");
+            assert_eq!(hwm % 1024, 0);
+        }
     }
 
     #[test]

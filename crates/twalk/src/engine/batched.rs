@@ -43,7 +43,7 @@ use obs::{CounterHandle, HistogramHandle};
 use par::{parallel_workers, ParConfig};
 use tgraph::{NodeId, TemporalGraph, Time};
 
-use super::{suffix_start, StartSet};
+use super::{suffix_start, Output, StartSet};
 use crate::sampler::PreparedSampler;
 use crate::{WalkConfig, WalkRng};
 
@@ -105,13 +105,11 @@ impl Scratch {
 }
 
 /// Runs the batched engine over `total` walk slots, writing the same
-/// output matrix the per-walk engine would produce.
+/// walks the per-walk engine would produce to `out`.
 ///
-/// `nodes_ptr` / `lengths_ptr` address buffers of
-/// `total * cfg.max_length` node ids and `total` lengths. Blocks are
-/// disjoint slot ranges, so each output row is written by exactly one
-/// worker (same aliasing argument as the per-walk engine's chunks).
-#[allow(clippy::too_many_arguments)]
+/// Blocks are disjoint slot ranges, so each output row is written by
+/// exactly one worker (same aliasing argument as the per-walk engine's
+/// chunks); in sink mode each block is emitted whole once it drains.
 pub(super) fn run(
     g: &TemporalGraph,
     cfg: &WalkConfig,
@@ -119,15 +117,27 @@ pub(super) fn run(
     par: &ParConfig,
     starts: StartSet<'_>,
     total: usize,
-    nodes_ptr: usize,
-    lengths_ptr: usize,
+    out: &Output<'_>,
 ) {
     let par = par.chunk_size(par.chunk().max(MIN_BLOCK));
     let stats = RoundStats::from_global();
     parallel_workers(&par, total, |queue| {
         let mut scratch = Scratch::new(g.num_nodes());
         while let Some(block) = queue.next_chunk() {
-            run_block(g, cfg, sampler, starts, block, &mut scratch, nodes_ptr, lengths_ptr, &stats);
+            out.with_block(block, cfg.max_length, |nodes_ptr, lengths_ptr, base| {
+                run_block(
+                    g,
+                    cfg,
+                    sampler,
+                    starts,
+                    block,
+                    &mut scratch,
+                    nodes_ptr,
+                    lengths_ptr,
+                    base,
+                    &stats,
+                );
+            });
         }
     });
 }
@@ -158,7 +168,8 @@ impl RoundStats {
 }
 
 /// Advances every walk in `block` from seed to termination, one hop per
-/// round.
+/// round. Output rows are addressed at `slot index − base` (the
+/// [`Output::with_block`] contract).
 #[allow(clippy::too_many_arguments)]
 fn run_block(
     g: &TemporalGraph,
@@ -169,6 +180,7 @@ fn run_block(
     s: &mut Scratch,
     nodes_ptr: usize,
     lengths_ptr: usize,
+    base: usize,
     stats: &RoundStats,
 ) {
     let nodes = nodes_ptr as *mut NodeId;
@@ -176,6 +188,9 @@ fn run_block(
     let nl = cfg.max_length;
     let block_len = end - start;
     let stride = starts.stride();
+    // First output row of this block: 0 in sink mode (base == start),
+    // `start` against the full matrix (base == 0).
+    let row0 = start - base;
 
     s.curr.clear();
     s.curr_time.clear();
@@ -194,7 +209,7 @@ fn run_block(
         s.curr_time.push(cfg.start_time);
         s.written.push(1);
         // SAFETY: slot start + j lies in this worker's disjoint block.
-        unsafe { *nodes.add((start + j) * nl) = v };
+        unsafe { *nodes.add((row0 + j) * nl) = v };
         s.frontier.push(j as u32);
         i += 1;
         if i == stride {
@@ -244,7 +259,7 @@ fn run_block(
             let len = s.written[slot] as usize;
             // SAFETY: slot start + slot is in this worker's block and
             // len < nl (walks leave the frontier at nl vertices).
-            unsafe { *nodes.add((start + slot) * nl + len) = next };
+            unsafe { *nodes.add((row0 + slot) * nl + len) = next };
             s.written[slot] = (len + 1) as u32;
             s.frontier.push(slot as u32);
         }
@@ -253,7 +268,7 @@ fn run_block(
 
     for j in 0..block_len {
         // SAFETY: disjoint block, as above.
-        unsafe { *lengths.add(start + j) = s.written[j] };
+        unsafe { *lengths.add(row0 + j) = s.written[j] };
     }
     stats.rounds.add(rounds_local);
     stats.groups.add(groups_local);

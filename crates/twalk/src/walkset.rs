@@ -138,6 +138,97 @@ impl WalkSet {
     }
 }
 
+/// Incremental [`WalkSet`] assembly without intermediate copies.
+///
+/// `WalkSet::from_walks` needs every walk as its own `Vec`, which forces
+/// callers that *generate* sets (snapshot pipelines stitching per-snapshot
+/// runs together) to copy each walk twice. The builder appends straight
+/// into the final flat buffers: walks via [`push_walk`], whole sets via
+/// [`append_set`] — a single `memcpy` when strides match.
+///
+/// [`push_walk`]: WalkSetBuilder::push_walk
+/// [`append_set`]: WalkSetBuilder::append_set
+///
+/// # Examples
+///
+/// ```
+/// use twalk::WalkSetBuilder;
+///
+/// let mut b = WalkSetBuilder::new(3);
+/// b.push_walk(&[1, 2]);
+/// b.push_walk(&[4, 5, 6]);
+/// let set = b.build();
+/// assert_eq!(set.num_walks(), 2);
+/// assert_eq!(set.walk(1), &[4, 5, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkSetBuilder {
+    nodes: Vec<NodeId>,
+    lengths: Vec<u32>,
+    max_length: usize,
+}
+
+impl WalkSetBuilder {
+    /// Creates a builder for walks of at most `max_length` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_length == 0`.
+    pub fn new(max_length: usize) -> Self {
+        assert!(max_length >= 1, "walks must hold at least the start vertex");
+        Self { nodes: Vec::new(), lengths: Vec::new(), max_length }
+    }
+
+    /// Pre-sizes the buffers for `num_walks` walks.
+    pub fn with_capacity(max_length: usize, num_walks: usize) -> Self {
+        let mut b = Self::new(max_length);
+        b.nodes.reserve(num_walks * max_length);
+        b.lengths.reserve(num_walks);
+        b
+    }
+
+    /// Number of walks appended so far.
+    pub fn num_walks(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Appends one walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk is empty or longer than `max_length`.
+    pub fn push_walk(&mut self, walk: &[NodeId]) {
+        assert!(!walk.is_empty(), "walk {} is empty", self.lengths.len());
+        assert!(walk.len() <= self.max_length, "walk {} exceeds max_length", self.lengths.len());
+        self.nodes.extend_from_slice(walk);
+        self.nodes.resize(self.lengths.len() * self.max_length + self.max_length, 0);
+        self.lengths.push(walk.len() as u32);
+    }
+
+    /// Appends every walk of `set`, in order. When strides match this is
+    /// one buffer copy; otherwise walks are re-strided individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` contains a walk longer than this builder's
+    /// `max_length`.
+    pub fn append_set(&mut self, set: &WalkSet) {
+        if set.max_length == self.max_length {
+            self.nodes.extend_from_slice(&set.nodes);
+            self.lengths.extend_from_slice(&set.lengths);
+        } else {
+            for walk in set.iter() {
+                self.push_walk(walk);
+            }
+        }
+    }
+
+    /// Finishes the set.
+    pub fn build(self) -> WalkSet {
+        WalkSet::from_parts(self.nodes, self.lengths, self.max_length)
+    }
+}
+
 /// Iterator over a [`WalkSet`]'s walks as vertex slices, in storage order.
 ///
 /// Created by [`WalkSet::iter`] or iterating `&WalkSet`. Reports an exact
@@ -238,6 +329,35 @@ mod tests {
     #[should_panic(expected = "is empty")]
     fn empty_walk_rejected() {
         let _ = WalkSet::from_walks(&[vec![]], 2);
+    }
+
+    #[test]
+    fn builder_matches_from_walks() {
+        let walks = vec![vec![1, 2, 3], vec![4], vec![5, 6]];
+        let mut b = WalkSetBuilder::with_capacity(4, walks.len());
+        for w in &walks {
+            b.push_walk(w);
+        }
+        assert_eq!(b.num_walks(), 3);
+        assert_eq!(b.build(), WalkSet::from_walks(&walks, 4));
+    }
+
+    #[test]
+    fn builder_append_set_fast_path_and_restride() {
+        let a = WalkSet::from_walks(&[vec![1, 2], vec![3]], 2);
+        let b = WalkSet::from_walks(&[vec![4, 5, 6]], 3);
+        // Same stride: one memcpy; different stride: per-walk re-stride.
+        let mut builder = WalkSetBuilder::new(3);
+        builder.append_set(&a);
+        builder.append_set(&b);
+        let set = builder.build();
+        assert_eq!(set, WalkSet::from_walks(&[vec![1, 2], vec![3], vec![4, 5, 6]], 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_length")]
+    fn builder_rejects_overlong_walk() {
+        WalkSetBuilder::new(2).push_walk(&[1, 2, 3]);
     }
 
     #[test]
