@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use dataprep::{link_prediction_data, node_classification_data, temporal_edge_split, SplitRatios};
 use embed::{EmbeddingMatrix, StreamTrainer};
 use nn::{metrics, Mlp, OutputHead, Trainer};
-use par::BoundedQueue;
+use par::{BoundedQueue, ParConfig};
 use perfmodel::profile::{
     profile_testing, profile_training, profile_walk, profile_word2vec, ProfileOptions,
 };
@@ -204,19 +204,31 @@ impl Pipeline {
         }
     }
 
-    /// The fused driver: per epoch, one producer thread streams the walk
+    /// The fused driver: per epoch, walk workers stream the walk
     /// kernel's chunks into a bounded channel while hogwild trainer
-    /// workers consume them. Walks are bit-exact per `(walk, vertex)` RNG
+    /// workers consume them, the two sides splitting the configured
+    /// thread budget between them. Walks are bit-exact per `(walk, vertex)` RNG
     /// stream, so later epochs *re-walk* the graph instead of replaying a
     /// buffered corpus — that is what keeps peak memory free of the
     /// corpus. The prepared sampler is built once and amortized across
     /// epochs (attributed to the `rwalk` phase, the only serial part
     /// left).
     fn fused_embed(&self, g: &TemporalGraph, opts: &WalkOptions) -> EmbedPhase {
-        let par = self.hp.par_config();
+        // Split the configured thread budget between the two overlapped
+        // sides instead of giving each side the full pool: producer and
+        // trainer run concurrently, and 2× oversubscription on a
+        // saturated host costs more in context switching than it buys in
+        // work conservation. The trainer is typically the longer side,
+        // so it gets the larger half; each side keeps at least one
+        // thread — the minimum that overlaps at all. The stall split in
+        // [`FusedPhases`] says which side was starved if this ratio ever
+        // needs revisiting.
+        let threads = self.hp.par_config().threads().max(1);
+        let producer_threads = (threads / 2).max(1);
+        let par = ParConfig::with_threads((threads - producer_threads).max(1));
         // Chunky producer blocks: channel traffic per chunk is O(1), and
         // ≥1k-walk chunks keep trainer pop rates far below contention.
-        let producer_par = self.hp.par_config().chunk_size(1024);
+        let producer_par = ParConfig::with_threads(producer_threads).chunk_size(1024);
         let t0 = Instant::now();
         let prepared = opts.prepare(g);
         let prepare_time = t0.elapsed();

@@ -164,8 +164,12 @@ impl StreamTrainer {
             self.maybe_rebuild_table();
         }
         self.chunks_seen.fetch_add(1, Ordering::Relaxed);
-        let table =
-            self.table.read().unwrap().clone().expect("table exists once any chunk was counted");
+        if chunk.total_vertices() == 0 {
+            // No tokens: nothing to train, and — were this the opening
+            // chunk — no counts from which a table could be built.
+            return (0, 0);
+        }
+        let table = self.current_table();
         let mut steps = 0u64;
         let mut draws = 0u64;
         for i in 0..chunk.num_walks() {
@@ -193,10 +197,40 @@ impl StreamTrainer {
         (steps, draws)
     }
 
-    /// Streaming-rebuild policy: first chunk builds the table, then one
-    /// worker rebuilds whenever seen tokens double past the last
-    /// milestone. The compare-exchange elects the rebuilder; losers keep
-    /// training on the previous table.
+    /// Snapshot of the current negative table for training one chunk.
+    ///
+    /// Normally a read-lock clone. At epoch-0 startup the milestone
+    /// machinery cannot yet guarantee a table: several workers count
+    /// their first chunks near-simultaneously, the compare-exchange
+    /// elects one rebuilder, and until its build (which runs outside the
+    /// lock) lands, every other worker observes `None`. Those workers
+    /// build the first table themselves under the write lock —
+    /// double-checked, so within one race window it is constructed once
+    /// — rather than panicking or spinning on the elected builder. The
+    /// caller has already counted its own chunk's tokens, so the counts
+    /// snapshot is never empty here.
+    fn current_table(&self) -> Arc<NegativeTable> {
+        if let Some(t) = self.table.read().unwrap().clone() {
+            return t;
+        }
+        let mut guard = self.table.write().unwrap();
+        if guard.is_none() {
+            let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            let table = NegativeTable::from_counts(
+                &counts,
+                NegativeTable::recommended_size(self.num_nodes),
+            );
+            *guard = Some(Arc::new(table));
+        }
+        Arc::clone(guard.as_ref().expect("installed above under the same lock"))
+    }
+
+    /// Streaming-rebuild policy: one worker rebuilds whenever seen tokens
+    /// double past the last milestone. The compare-exchange elects the
+    /// rebuilder; losers keep training on the previous table — except at
+    /// the first milestone, where no previous table exists and a loser
+    /// racing ahead of the elected build installs the first table itself
+    /// via [`current_table`](Self::current_table).
     fn maybe_rebuild_table(&self) {
         let seen = self.tokens_seen.load(Ordering::Relaxed);
         let due = self.next_rebuild.load(Ordering::Relaxed);
@@ -370,6 +404,38 @@ mod tests {
         assert_eq!(trainer.chunks_seen(), 2 * corpus.num_walks() as u64);
         assert_eq!(trainer.length_histogram(), corpus.length_histogram());
         let _ = trainer.finish();
+    }
+
+    #[test]
+    fn first_milestone_race_cannot_outrun_the_table() {
+        // Regression (REVIEW.md): at epoch-0 startup the CAS-elected
+        // rebuilder used to construct the first table outside the lock,
+        // so a worker that lost the election (or arrived after the
+        // milestone moved) could read `None` and panic. With several
+        // workers and single-walk chunks the concurrent-first-chunk
+        // window is hit almost every run; every worker must find or
+        // build a table.
+        let (corpus, n) = two_community_corpus();
+        let cfg = Word2VecConfig::default().dim(4).epochs(1).seed(7);
+        for _ in 0..8 {
+            let emb = stream_epochs(&corpus, n, &cfg, 1, 8);
+            assert_eq!(emb.num_nodes(), n);
+        }
+    }
+
+    #[test]
+    fn zero_token_chunk_before_any_table_is_a_noop() {
+        // A chunk with no tokens cannot seed a negative table; it must
+        // pass through without training (and without panicking on the
+        // empty-counts assert).
+        let trainer = StreamTrainer::new(4, &Word2VecConfig::default(), 8, 4);
+        let queue = BoundedQueue::new(2);
+        let guard = queue.register_producer();
+        queue.push(WalkChunk { start: 0, max_length: 4, nodes: vec![], lengths: vec![] }).unwrap();
+        drop(guard);
+        trainer.run_epoch(&queue, 0, &ParConfig::with_threads(2));
+        assert_eq!(trainer.tokens_seen(), 0);
+        assert_eq!(trainer.chunks_seen(), 1);
     }
 
     #[test]
