@@ -1,6 +1,9 @@
 //! Perf-trend gate: compares a fresh `BENCH_rwalk.json` against the
 //! committed baseline and fails on >25% regressions in the tracked rows.
 //!
+//! The gating rules live in [`rwalk_bench::trendgate`] (unit-tested over
+//! synthetic captures); this binary is the argv/IO/exit-code wrapper.
+//!
 //! Tracked rows are the serving closed-loop latencies
 //! (`serve/loadgen/closed/*`) and the walk-engine comparison
 //! (`rwalk/engine/*`). For the `p50_p95_p99` latency rows the gated
@@ -37,55 +40,14 @@
 //! (`TREND_GATE_WARN_ONLY=1` and `TREND_GATE_MAX_PCT` are the env
 //! equivalents). Exit status 1 on any regression unless warn-only.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use rwserve::json::Json;
+use rwalk_bench::trendgate::{evaluate, parse_rows, DEFAULT_MAX_PCT};
 
-/// Bench-row prefixes under trend protection.
-const TRACKED: [&str; 2] = ["serve/loadgen/closed/", "rwalk/engine/"];
-
-/// One parsed JSON-lines row, keyed by bench id.
-struct Row {
-    min_ns: u64,
-    max_ns: u64,
-}
-
-impl Row {
-    /// The gated metric: p99 for percentile rows, min-of-N otherwise.
-    fn metric(&self, id: &str) -> (u64, &'static str) {
-        if id.contains("p50_p95_p99") {
-            (self.max_ns, "p99")
-        } else {
-            (self.min_ns, "min")
-        }
-    }
-}
-
-fn load(path: &str) -> BTreeMap<String, Row> {
+fn load(path: &str) -> std::collections::BTreeMap<String, rwalk_bench::trendgate::Row> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("trend_gate: cannot read {path}: {e}"));
-    let mut rows = BTreeMap::new();
-    for (n, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = Json::parse(line)
-            .unwrap_or_else(|e| panic!("trend_gate: {path}:{}: bad JSON: {e:?}", n + 1));
-        let field = |k: &str| {
-            v.get(k)
-                .and_then(Json::as_u64)
-                .unwrap_or_else(|| panic!("trend_gate: {path}:{}: missing {k}", n + 1))
-        };
-        let id = v
-            .get("bench")
-            .and_then(Json::as_str)
-            .unwrap_or_else(|| panic!("trend_gate: {path}:{}: missing bench id", n + 1))
-            .to_owned();
-        // Last write wins, matching append-only JSON-lines capture.
-        rows.insert(id, Row { min_ns: field("min_ns"), max_ns: field("max_ns") });
-    }
-    rows
+    parse_rows(&text).unwrap_or_else(|e| panic!("trend_gate: {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -106,45 +68,39 @@ fn main() -> ExitCode {
         eprintln!("usage: trend_gate BASELINE.json FRESH.json [--warn-only]");
         return ExitCode::FAILURE;
     };
-    let max_pct: f64 =
-        std::env::var("TREND_GATE_MAX_PCT").ok().and_then(|s| s.parse().ok()).unwrap_or(25.0);
+    let max_pct: f64 = std::env::var("TREND_GATE_MAX_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MAX_PCT);
 
-    let baseline = load(&baseline_path);
-    let fresh = load(&fresh_path);
+    let outcome = evaluate(&load(&baseline_path), &load(&fresh_path), max_pct);
 
-    let mut compared = 0usize;
-    let mut regressions = Vec::new();
-    for (id, fresh_row) in &fresh {
-        if !TRACKED.iter().any(|p| id.starts_with(p)) {
-            continue;
-        }
-        let Some(base_row) = baseline.get(id) else {
-            println!("  new    {id} (no baseline row, not gated)");
-            continue;
-        };
-        compared += 1;
-        let (base, which) = base_row.metric(id);
-        let (now, _) = fresh_row.metric(id);
-        let delta_pct = (now as f64 / base.max(1) as f64 - 1.0) * 100.0;
-        let verdict = if delta_pct > max_pct { "REGRESS" } else { "ok" };
+    for id in &outcome.new_rows {
+        println!("  new    {id} (no baseline row, not gated)");
+    }
+    for c in &outcome.compared {
+        let verdict = if c.regressed { "REGRESS" } else { "ok" };
         println!(
-            "  {verdict:<8}{id}: {which} {:.3} ms -> {:.3} ms ({delta_pct:+.1}%)",
-            base as f64 / 1e6,
-            now as f64 / 1e6,
+            "  {verdict:<8}{}: {} {:.3} ms -> {:.3} ms ({:+.1}%)",
+            c.id,
+            c.which,
+            c.base_ns as f64 / 1e6,
+            c.fresh_ns as f64 / 1e6,
+            c.delta_pct,
         );
-        if delta_pct > max_pct {
-            regressions.push(format!("{id} ({which} {delta_pct:+.1}%)"));
-        }
     }
-    for id in baseline.keys() {
-        if TRACKED.iter().any(|p| id.starts_with(p)) && !fresh.contains_key(id) {
-            println!("  gone   {id} (baseline row missing from fresh run, not gated)");
-        }
+    for id in &outcome.gone_rows {
+        println!("  gone   {id} (baseline row missing from fresh run, not gated)");
     }
 
+    let regressions: Vec<String> = outcome
+        .regressions()
+        .map(|c| format!("{} ({} {:+.1}%)", c.id, c.which, c.delta_pct))
+        .collect();
     println!(
-        "trend gate: {compared} rows compared against {baseline_path}, \
+        "trend gate: {} rows compared against {baseline_path}, \
          {} regression(s) beyond {max_pct}%",
+        outcome.compared.len(),
         regressions.len()
     );
     if regressions.is_empty() {
@@ -158,7 +114,7 @@ fn main() -> ExitCode {
          heterogeneity — refresh the committed baseline from a recent run of this job, \
          or rerun with TREND_GATE_WARN_ONLY=1 (see the module docs for when that is expected)"
     );
-    if warn_only {
+    if !outcome.should_fail_build(warn_only) {
         eprintln!("trend gate: warn-only mode, not failing the build");
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,139 @@
+//! Seeded property sweep over the streaming trainer's epoch-0 milestone
+//! machinery (DESIGN.md §16).
+//!
+//! The negative table is first built from the opening chunk and rebuilt
+//! whenever the seen-token count doubles past the last milestone; the
+//! rebuilder is CAS-elected and losers keep training on the previous
+//! table. The regression test in `stream.rs` pins the one historical bug
+//! (a worker outrunning the elected first build); this sweep generalizes
+//! it: for every worker-count × chunk-size combination, with corpora
+//! whose token totals straddle the early doubling milestones, the trainer
+//! must keep exact corpus accounting, finish with finite embeddings, and
+//! never panic — regardless of which worker crosses which milestone.
+
+use embed::{StreamTrainer, Word2VecConfig};
+use par::{BoundedQueue, ParConfig};
+use twalk::WalkChunk;
+
+/// splitmix64: tiny seeded generator so the corpus sweep is replayable
+/// from the printed (seed, target, threads, chunk) tuple alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Builds a corpus of varied-length walks over `num_nodes` vertices whose
+/// token total lands exactly on `target_tokens` (the last walk is clipped),
+/// so sweeping targets around powers of two places corpus boundaries just
+/// before, on, and just after the doubling milestones.
+fn corpus_with_tokens(rng: &mut Rng, num_nodes: u64, target_tokens: usize) -> Vec<Vec<u32>> {
+    let mut walks = Vec::new();
+    let mut total = 0usize;
+    while total < target_tokens {
+        let len = (1 + rng.below(6) as usize).min(target_tokens - total);
+        walks.push((0..len).map(|_| rng.below(num_nodes) as u32).collect());
+        total += len;
+    }
+    walks
+}
+
+/// Streams `walks` through a fresh trainer as chunks of `chunk_walks`
+/// using `threads` hogwild consumers, then checks exact epoch-0
+/// accounting and a finite final embedding.
+fn check_stream(walks: &[Vec<u32>], num_nodes: usize, threads: usize, chunk_walks: usize) {
+    let max_length = walks.iter().map(Vec::len).max().unwrap_or(1);
+    let cfg = Word2VecConfig::default().dim(4).epochs(2).seed(11);
+    let trainer = StreamTrainer::new(num_nodes, &cfg, walks.len(), max_length);
+    let par = ParConfig::with_threads(threads);
+    let chunks = walks.len().div_ceil(chunk_walks);
+    for epoch in 0..cfg.epochs {
+        let queue = BoundedQueue::new(2);
+        std::thread::scope(|s| {
+            let guard = queue.register_producer();
+            s.spawn(|| {
+                let _guard = guard;
+                for (c, batch) in walks.chunks(chunk_walks).enumerate() {
+                    let mut nodes = vec![0; batch.len() * max_length];
+                    let mut lengths = Vec::with_capacity(batch.len());
+                    for (i, w) in batch.iter().enumerate() {
+                        nodes[i * max_length..i * max_length + w.len()].copy_from_slice(w);
+                        lengths.push(w.len() as u32);
+                    }
+                    let chunk = WalkChunk { start: c * chunk_walks, max_length, nodes, lengths };
+                    queue.push(chunk).unwrap();
+                }
+            });
+            trainer.run_epoch(&queue, epoch, &par);
+        });
+    }
+
+    let tokens: usize = walks.iter().map(Vec::len).sum();
+    let ctx = format!("threads={threads} chunk={chunk_walks} tokens={tokens}");
+    assert_eq!(trainer.tokens_seen(), tokens as u64, "token accounting ({ctx})");
+    assert_eq!(trainer.sentences_seen(), walks.len() as u64, "sentence accounting ({ctx})");
+    assert_eq!(trainer.chunks_seen(), (cfg.epochs * chunks) as u64, "chunk accounting ({ctx})");
+    let mut hist = vec![0u64; max_length + 1];
+    for w in walks {
+        hist[w.len()] += 1;
+    }
+    assert_eq!(trainer.length_histogram(), hist, "length histogram ({ctx})");
+
+    let emb = trainer.finish();
+    assert_eq!(emb.num_nodes(), num_nodes);
+    assert!(emb.as_slice().iter().all(|x| x.is_finite()), "non-finite embedding value ({ctx})");
+}
+
+#[test]
+fn milestone_boundaries_survive_worker_and_chunk_sweep() {
+    // Token totals one below, on, and one past the early doubling
+    // milestones (the first rebuild fires on the opening chunk, then at
+    // 2×, 4×, … the tokens seen at election time — small corpora cross
+    // several milestones while chunks are still in flight).
+    let targets = [7usize, 8, 9, 15, 16, 17, 31, 32, 33, 64];
+    let mut rng = Rng(0x5EED_0010);
+    for &target in &targets {
+        let walks = corpus_with_tokens(&mut rng, 12, target);
+        for threads in [1usize, 2, 4, 8] {
+            for chunk_walks in [1usize, 2, 3, 5, 8, 16] {
+                check_stream(&walks, 12, threads, chunk_walks);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_walk_chunks_hammer_the_first_milestone_election() {
+    // The adversarial corner the PR 9 race lived in: many workers, each
+    // chunk a single walk, so several workers count their first chunk —
+    // and race the CAS-elected first table build — almost simultaneously.
+    // Repetition widens interleaving coverage; the seed fixes the corpus.
+    let mut rng = Rng(0x5EED_0011);
+    let walks = corpus_with_tokens(&mut rng, 9, 48);
+    for round in 0..6 {
+        let _ = round;
+        check_stream(&walks, 9, 8, 1);
+    }
+}
+
+#[test]
+fn chunk_larger_than_corpus_is_one_milestone_crossing() {
+    // The whole corpus in one chunk: exactly one worker sees tokens, the
+    // opening build is the only epoch-0 rebuild, and the other workers
+    // must drain an already-empty channel without touching the table.
+    let mut rng = Rng(0x5EED_0012);
+    let walks = corpus_with_tokens(&mut rng, 6, 33);
+    for threads in [1usize, 4, 8] {
+        check_stream(&walks, 6, threads, 64);
+    }
+}

@@ -1,0 +1,183 @@
+//! Budgeted fuzz soak driver.
+//!
+//! ```text
+//! fuzz_soak [--all | --target NAME] [--iters N] [--max-secs S] [--seed S]
+//!           [--replay-iter I] [--corpus-out DIR] [--list]
+//! ```
+//!
+//! With no `--iters`, each target runs its own default budget (scaled to
+//! its per-iteration cost so `--all` finishes in comparable wall time
+//! per target). Any failure prints a replayable banner —
+//!
+//! ```text
+//! FUZZ FAILURE target=json seed=94 iteration=1337 ...
+//!   replay: fuzz_soak --target json --seed 94 --replay-iter 1337
+//! ```
+//!
+//! — saves the raw and minimized inputs under `--corpus-out` when given,
+//! and exits nonzero. `--replay-iter` rebuilds exactly one iteration's
+//! input from `(seed, iteration)` and runs it once, which is the whole
+//! reproduce-a-failure workflow (see README "Testing").
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rwalk_fuzz::runner::run_caught;
+use rwalk_fuzz::{corpus, targets, Budget, Runner};
+
+/// Per-target default iteration budgets for a soak without `--iters`.
+/// Transport rides real TCP round-trips; walk/store build artifacts per
+/// iteration; json/framer are microseconds each.
+fn default_iters(target: &str) -> u64 {
+    match target {
+        "json" => 50_000,
+        "framer" => 30_000,
+        "store" => 5_000,
+        "transport" => 400,
+        "walk" => 2_000,
+        _ => 10_000,
+    }
+}
+
+struct Args {
+    target: Option<String>,
+    iters: Option<u64>,
+    max_secs: Option<u64>,
+    seed: u64,
+    replay_iter: Option<u64>,
+    corpus_out: Option<std::path::PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target: None,
+        iters: None,
+        max_secs: None,
+        seed: 0x5EED,
+        replay_iter: None,
+        corpus_out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--all" => args.target = None,
+            "--target" => args.target = Some(value("--target")?),
+            "--iters" => {
+                args.iters = Some(value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?)
+            }
+            "--max-secs" => {
+                args.max_secs =
+                    Some(value("--max-secs")?.parse().map_err(|e| format!("--max-secs: {e}"))?)
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--replay-iter" => {
+                args.replay_iter = Some(
+                    value("--replay-iter")?.parse().map_err(|e| format!("--replay-iter: {e}"))?,
+                )
+            }
+            "--corpus-out" => args.corpus_out = Some(value("--corpus-out")?.into()),
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fuzz_soak: {e}");
+            eprintln!(
+                "usage: fuzz_soak [--all | --target NAME] [--iters N] [--max-secs S] \
+                 [--seed S] [--replay-iter I] [--corpus-out DIR] [--list]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for t in targets::all() {
+            println!("{} (default budget {} iters)", t.name(), default_iters(t.name()));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<_> = match &args.target {
+        Some(name) => match targets::by_name(name) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("fuzz_soak: unknown target {name:?} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => targets::all(),
+    };
+
+    // Replay mode: rebuild one iteration's input and run it once.
+    if let Some(iteration) = args.replay_iter {
+        let Some(target) = selected.first().filter(|_| args.target.is_some()) else {
+            eprintln!("fuzz_soak: --replay-iter requires --target");
+            return ExitCode::FAILURE;
+        };
+        let runner = Runner::new(args.seed, Budget::iters(iteration + 1));
+        let input = runner.input_for(target.as_ref(), iteration);
+        println!(
+            "replaying target={} seed={} iteration={iteration} ({} bytes)",
+            target.name(),
+            args.seed,
+            input.len()
+        );
+        return match run_caught(target.as_ref(), &input) {
+            Ok(()) => {
+                println!("replay: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                println!("replay: FAIL\n  {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut failed = false;
+    for target in &selected {
+        let iters = args.iters.unwrap_or_else(|| default_iters(target.name()));
+        let mut budget = Budget::iters(iters);
+        if let Some(secs) = args.max_secs {
+            budget = budget.with_time(Duration::from_secs(secs));
+        }
+        let mut runner = Runner::new(args.seed, budget);
+        runner.verbose = true;
+        let report = runner.run(target.as_ref());
+        match &report.failure {
+            None => println!(
+                "soak ok: {:<10} {:>8} iters in {:>7.2?} (seed {})",
+                report.target, report.iterations, report.elapsed, report.seed
+            ),
+            Some(failure) => {
+                failed = true;
+                println!(
+                    "soak FAIL: {:<10} at iteration {} (seed {}): {}",
+                    report.target, failure.iteration, failure.seed, failure.message
+                );
+                if let Some(dir) = &args.corpus_out {
+                    for (kind, bytes) in [("raw", &failure.input), ("min", &failure.minimized)] {
+                        match corpus::save_failure(dir, failure.target, bytes) {
+                            Ok(path) => println!("  saved {kind} input: {}", path.display()),
+                            Err(e) => eprintln!("  could not save {kind} input: {e}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,66 @@
+//! On-disk corpus helpers for the soak binary.
+//!
+//! The *seed* corpus every target replays is compiled in
+//! (`include_bytes!` in the target modules) so the replay contract cannot
+//! depend on a checkout's working tree. These helpers are only for the
+//! soak binary: loading extra inputs from a directory and saving
+//! minimized failures for CI to upload as artifacts.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Loads every regular file in `dir`, sorted by file name so iteration
+/// order (and therefore replay) is stable across filesystems.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            entries.push((name, fs::read(entry.path())?));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(entries)
+}
+
+/// Writes a failing input under `dir/<target>/`, named by a content hash
+/// so re-running a soak never duplicates entries.
+pub fn save_failure(dir: &Path, target: &str, input: &[u8]) -> io::Result<std::path::PathBuf> {
+    let sub = dir.join(target);
+    fs::create_dir_all(&sub)?;
+    let path = sub.join(format!("{:016x}.bin", fnv1a(input)));
+    fs::write(&path, input)?;
+    Ok(path)
+}
+
+/// FNV-1a content hash for corpus file names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("rwalk-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        save_failure(&dir, "demo", b"abc").unwrap();
+        save_failure(&dir, "demo", b"abc").unwrap(); // same hash, idempotent
+        save_failure(&dir, "demo", b"xyz").unwrap();
+        let entries = load_dir(&dir.join("demo")).unwrap();
+        assert_eq!(entries.len(), 2);
+        let bodies: Vec<&[u8]> = entries.iter().map(|(_, b)| b.as_slice()).collect();
+        assert!(bodies.contains(&b"abc".as_slice()));
+        assert!(bodies.contains(&b"xyz".as_slice()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

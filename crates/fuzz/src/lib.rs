@@ -1,0 +1,37 @@
+//! Deterministic fuzzing and differential-conformance engine.
+//!
+//! Dependency-free by construction (the build environment is offline):
+//! seeded structure-aware generators, byte-level mutators, a greedy
+//! shrinking loop, and a budgeted runner over a byte-oriented
+//! [`FuzzTarget`] trait. Five targets cover the layers ROADMAP flags as
+//! generatively under-tested: the JSON codec, the sans-IO framers, the
+//! checksummed store container, transport conformance between the
+//! blocking and reactor servers, and the temporal walk engines.
+//!
+//! ## Replay contract
+//!
+//! The input at iteration `i` of a run seeded `s` is a pure function of
+//! `(s, i)` and the target's compiled-in seed corpus — no coverage
+//! feedback, no cross-iteration state. Every failure report carries
+//! `(seed, iteration)`; `Runner::input_for` rebuilds the exact bytes, so
+//!
+//! ```text
+//! fuzz_soak --target json --seed 42 --replay-iter 1337
+//! ```
+//!
+//! re-executes a reported failure byte-identically. DESIGN.md §17 has
+//! the full architecture notes.
+
+pub mod corpus;
+pub mod mutate;
+pub mod rng;
+pub mod runner;
+pub mod tape;
+pub mod targets;
+
+#[cfg(test)]
+mod planted;
+
+pub use rng::FuzzRng;
+pub use runner::{Budget, Failure, FuzzTarget, Report, Runner};
+pub use tape::Tape;

@@ -1,0 +1,131 @@
+//! Deterministic generator state for the fuzz engine.
+//!
+//! Every fuzz iteration derives its RNG purely from `(run_seed, iteration)`
+//! via [`FuzzRng::from_parts`], so any single iteration can be replayed
+//! byte-identically without re-executing the iterations before it. The
+//! generator is the same splitmix64-seeded xoshiro256** family the walk
+//! engine uses (`twalk::rng::WalkRng`), reimplemented here so the fuzz
+//! crate's replay contract cannot drift if the walk RNG ever changes.
+
+/// splitmix64: seeds the xoshiro state and decorrelates `(seed, iter)` pairs.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** PRNG with stream derivation for replayable fuzz iterations.
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    s: [u64; 4],
+}
+
+impl FuzzRng {
+    /// RNG for one fuzz iteration: a pure function of the run seed and the
+    /// iteration index. This is the whole replay contract — nothing else
+    /// (wall clock, thread ids, prior iterations) may influence the stream.
+    pub fn from_parts(seed: u64, iteration: u64) -> Self {
+        // Mix the iteration in through a second splitmix pass rather than
+        // addition so that (seed, iter) and (seed+1, iter-1) diverge.
+        let mut sm = seed ^ splitmix64(&mut { iteration ^ 0xa076_1d64_78bd_642f });
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        // xoshiro must not start from the all-zero state.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        Self { s }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)` (Lemire rejection); `bound == 0` yields 0.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fill `buf` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// A fresh byte string of length drawn from `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.next_bounded(max_len as u64 + 1) as usize;
+        let mut out = vec![0u8; len];
+        self.fill_bytes(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_is_pure() {
+        let a: Vec<u64> = {
+            let mut r = FuzzRng::from_parts(42, 7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FuzzRng::from_parts(42, 7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_streams_diverge() {
+        let mut a = FuzzRng::from_parts(42, 7);
+        let mut b = FuzzRng::from_parts(42, 8);
+        let mut c = FuzzRng::from_parts(43, 7);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        assert_ne!(y, z);
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut r = FuzzRng::from_parts(1, 1);
+        for bound in [1u64, 2, 3, 7, 100, u64::MAX] {
+            for _ in 0..64 {
+                assert!(r.next_bounded(bound) < bound);
+            }
+        }
+        assert_eq!(r.next_bounded(0), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Budgeted fuzz runner: generation, mutation, failure capture, shrinking.
+//!
+//! ## Determinism / replay contract
+//!
+//! The input executed at iteration `i` of a run with seed `s` is a pure
+//! function of `(s, i)` and the target's static seed corpus:
+//!
+//! * iterations `i < corpus.len()` replay the corpus entries verbatim;
+//! * even iterations past that call `target.generate(FuzzRng::from_parts(s, i))`;
+//! * odd iterations mutate (and occasionally splice) a generated or corpus
+//!   base chosen by the same RNG.
+//!
+//! There is no coverage feedback and no evolving in-memory corpus, so no
+//! iteration depends on any earlier one. A reported failure carries
+//! `(seed, iteration)` and [`Runner::input_for`] reconstructs its exact
+//! bytes — that is what "replays byte-identically" means here.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use crate::mutate;
+use crate::rng::FuzzRng;
+
+/// One fuzzable property.
+///
+/// Inputs are plain byte strings. Structured targets decode them through a
+/// [`crate::tape::Tape`]; that keeps mutation and shrinking uniform across
+/// all targets.
+pub trait FuzzTarget {
+    /// Stable identifier, used for corpus directories and `--target`.
+    fn name(&self) -> &'static str;
+
+    /// Inputs replayed verbatim before any generation: the checked-in
+    /// regression corpus plus any interesting handcrafted shapes.
+    fn seed_corpus(&self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
+    /// Produce a fresh structured input from the iteration's RNG.
+    fn generate(&self, rng: &mut FuzzRng) -> Vec<u8>;
+
+    /// Execute one input. `Err` and panics are both failures.
+    fn run(&self, input: &[u8]) -> Result<(), String>;
+}
+
+/// Iteration/time budget for one campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    pub max_iters: u64,
+    pub max_time: Duration,
+}
+
+impl Budget {
+    pub fn iters(max_iters: u64) -> Self {
+        Self { max_iters, max_time: Duration::from_secs(u64::MAX >> 1) }
+    }
+
+    pub fn with_time(mut self, max_time: Duration) -> Self {
+        self.max_time = max_time;
+        self
+    }
+}
+
+/// A reproducible failure: `(seed, iteration)` is sufficient to rebuild
+/// `input` byte-for-byte via [`Runner::input_for`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub target: &'static str,
+    pub seed: u64,
+    pub iteration: u64,
+    pub message: String,
+    /// The exact input that failed.
+    pub input: Vec<u8>,
+    /// The shrunk input (still failing), or a copy of `input` if no
+    /// smaller failing input was found.
+    pub minimized: Vec<u8>,
+}
+
+/// Outcome of one campaign.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub target: &'static str,
+    pub seed: u64,
+    pub iterations: u64,
+    pub elapsed: Duration,
+    pub failure: Option<Failure>,
+}
+
+/// Count of fuzz executions currently inside `catch_unwind`, across all
+/// threads. While nonzero, the process panic hook stays quiet so expected
+/// target panics do not spray backtraces over the fuzz log. A global
+/// counter (not a thread-local) because targets may panic on threads they
+/// spawned themselves.
+static IN_TARGET: AtomicUsize = AtomicUsize::new(0);
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_TARGET.load(Ordering::SeqCst) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run one input under panic capture, mapping panics to `Err`.
+pub fn run_caught(target: &dyn FuzzTarget, input: &[u8]) -> Result<(), String> {
+    install_quiet_hook();
+    IN_TARGET.fetch_add(1, Ordering::SeqCst);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| target.run(input)));
+    IN_TARGET.fetch_sub(1, Ordering::SeqCst);
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Deterministic budgeted campaign driver.
+pub struct Runner {
+    pub seed: u64,
+    pub budget: Budget,
+    /// Shrink attempts per failure (0 disables shrinking).
+    pub shrink_attempts: u32,
+    /// Print progress / failure banners to stderr.
+    pub verbose: bool,
+}
+
+impl Runner {
+    pub fn new(seed: u64, budget: Budget) -> Self {
+        Self { seed, budget, shrink_attempts: 4096, verbose: false }
+    }
+
+    /// Rebuild the exact input bytes for `(self.seed, iteration)`.
+    ///
+    /// This is the replay side of the determinism contract; `run` calls
+    /// the same function, so the two can never disagree.
+    pub fn input_for(&self, target: &dyn FuzzTarget, iteration: u64) -> Vec<u8> {
+        let corpus = target.seed_corpus();
+        if (iteration as usize) < corpus.len() {
+            return corpus[iteration as usize].clone();
+        }
+        let mut rng = FuzzRng::from_parts(self.seed, iteration);
+        if iteration.is_multiple_of(2) {
+            return target.generate(&mut rng);
+        }
+        // Odd iterations: mutate a base. The base is itself derived from
+        // this iteration's RNG, so it needs no history.
+        let mut base = if !corpus.is_empty() && rng.next_bounded(3) == 0 {
+            corpus[rng.next_bounded(corpus.len() as u64) as usize].clone()
+        } else {
+            target.generate(&mut rng)
+        };
+        if !corpus.is_empty() && rng.next_bounded(4) == 0 {
+            let donor = &corpus[rng.next_bounded(corpus.len() as u64) as usize];
+            mutate::splice(&mut base, donor, &mut rng);
+        }
+        let rounds = rng.next_bounded(8) as usize + 1;
+        mutate::mutate(&mut base, &mut rng, rounds);
+        base
+    }
+
+    /// Run the campaign until the budget is spent or a failure is found
+    /// (first failure stops the campaign; one bug at a time shrinks best).
+    pub fn run(&self, target: &dyn FuzzTarget) -> Report {
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        for i in 0..self.budget.max_iters {
+            if start.elapsed() >= self.budget.max_time {
+                break;
+            }
+            iterations = i + 1;
+            let input = self.input_for(target, i);
+            if let Err(message) = run_caught(target, &input) {
+                let minimized = self.shrink(target, &input);
+                let failure = Failure {
+                    target: target.name(),
+                    seed: self.seed,
+                    iteration: i,
+                    message,
+                    input,
+                    minimized,
+                };
+                if self.verbose {
+                    eprintln!(
+                        "FUZZ FAILURE target={} seed={} iteration={} ({} bytes, {} minimized)\n  {}\n  replay: fuzz_soak --target {} --seed {} --replay-iter {}",
+                        failure.target,
+                        failure.seed,
+                        failure.iteration,
+                        failure.input.len(),
+                        failure.minimized.len(),
+                        failure.message,
+                        failure.target,
+                        failure.seed,
+                        failure.iteration,
+                    );
+                }
+                return Report {
+                    target: target.name(),
+                    seed: self.seed,
+                    iterations,
+                    elapsed: start.elapsed(),
+                    failure: Some(failure),
+                };
+            }
+        }
+        Report {
+            target: target.name(),
+            seed: self.seed,
+            iterations,
+            elapsed: start.elapsed(),
+            failure: None,
+        }
+    }
+
+    /// Greedy minimization: repeatedly try structurally smaller variants,
+    /// keeping any that still fail. Deterministic (seeded from the runner
+    /// seed) and bounded by `shrink_attempts` executions.
+    pub fn shrink(&self, target: &dyn FuzzTarget, input: &[u8]) -> Vec<u8> {
+        let mut best = input.to_vec();
+        if self.shrink_attempts == 0 {
+            return best;
+        }
+        let mut attempts_left = self.shrink_attempts;
+        let still_fails = |candidate: &[u8], attempts_left: &mut u32| -> bool {
+            if *attempts_left == 0 {
+                return false;
+            }
+            *attempts_left -= 1;
+            run_caught(target, candidate).is_err()
+        };
+
+        // Phase 1: chunk deletion, halving chunk size each pass.
+        let mut chunk = (best.len() / 2).max(1);
+        while chunk >= 1 && attempts_left > 0 {
+            let mut at = 0;
+            while at < best.len() && attempts_left > 0 {
+                let end = (at + chunk).min(best.len());
+                let mut candidate = best.clone();
+                candidate.drain(at..end);
+                if still_fails(&candidate, &mut attempts_left) {
+                    best = candidate;
+                    // Retry the same offset: the next chunk slid into place.
+                } else {
+                    at = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Phase 2: truncation from the tail (tape decoders read zeros past
+        // the end, so a shorter tape is a simpler structure).
+        while !best.is_empty() && attempts_left > 0 {
+            let mut candidate = best.clone();
+            candidate.truncate(best.len() - 1);
+            if still_fails(&candidate, &mut attempts_left) {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+
+        // Phase 3: byte simplification toward 0 (tape's "simplest choice").
+        let mut i = 0;
+        while i < best.len() && attempts_left > 0 {
+            if best[i] != 0 {
+                let mut candidate = best.clone();
+                candidate[i] = 0;
+                if still_fails(&candidate, &mut attempts_left) {
+                    best = candidate;
+                    i += 1;
+                    continue;
+                }
+                if best[i] > 1 {
+                    let mut candidate = best.clone();
+                    candidate[i] = 1;
+                    if still_fails(&candidate, &mut attempts_left) {
+                        best = candidate;
+                    }
+                }
+            }
+            i += 1;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fails whenever the input contains the byte 0xAB after any byte 0xCD.
+    struct NeedleTarget;
+
+    impl FuzzTarget for NeedleTarget {
+        fn name(&self) -> &'static str {
+            "needle"
+        }
+        fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+            rng.bytes(64)
+        }
+        fn run(&self, input: &[u8]) -> Result<(), String> {
+            let mut seen_cd = false;
+            for &b in input {
+                if b == 0xCD {
+                    seen_cd = true;
+                } else if b == 0xAB && seen_cd {
+                    return Err("needle found".into());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    struct PanicTarget;
+
+    impl FuzzTarget for PanicTarget {
+        fn name(&self) -> &'static str {
+            "panic"
+        }
+        fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+            rng.bytes(8)
+        }
+        fn run(&self, input: &[u8]) -> Result<(), String> {
+            if input.first() == Some(&0x42) {
+                panic!("boom at 0x42");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn finds_and_shrinks_needle() {
+        let runner = Runner::new(0xfeed, Budget::iters(20_000));
+        let report = runner.run(&NeedleTarget);
+        let failure = report.failure.expect("needle should be found within budget");
+        // Minimal failing input is exactly [0xCD, 0xAB].
+        assert_eq!(failure.minimized, vec![0xCD, 0xAB]);
+        // Replay: rebuilding the input from (seed, iteration) must match.
+        let rebuilt = runner.input_for(&NeedleTarget, failure.iteration);
+        assert_eq!(rebuilt, failure.input);
+        assert!(NeedleTarget.run(&failure.input).is_err());
+    }
+
+    #[test]
+    fn captures_panics_as_failures() {
+        let runner = Runner::new(7, Budget::iters(10_000));
+        let report = runner.run(&PanicTarget);
+        let failure = report.failure.expect("panic target should fail");
+        assert!(failure.message.contains("boom at 0x42"), "got: {}", failure.message);
+        assert_eq!(failure.minimized, vec![0x42]);
+    }
+
+    #[test]
+    fn seed_corpus_replays_first() {
+        struct CorpusTarget;
+        impl FuzzTarget for CorpusTarget {
+            fn name(&self) -> &'static str {
+                "corpus"
+            }
+            fn seed_corpus(&self) -> Vec<Vec<u8>> {
+                vec![b"bad".to_vec()]
+            }
+            fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+                rng.bytes(4)
+            }
+            fn run(&self, input: &[u8]) -> Result<(), String> {
+                if input == b"bad" {
+                    Err("corpus entry".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let runner = Runner::new(1, Budget::iters(100));
+        let report = runner.run(&CorpusTarget);
+        let failure = report.failure.expect("corpus entry must fail at iteration 0");
+        assert_eq!(failure.iteration, 0);
+        assert_eq!(failure.input, b"bad");
+    }
+
+    #[test]
+    fn time_budget_stops_campaign() {
+        struct SlowTarget;
+        impl FuzzTarget for SlowTarget {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+                rng.bytes(4)
+            }
+            fn run(&self, _input: &[u8]) -> Result<(), String> {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(())
+            }
+        }
+        let runner = Runner::new(1, Budget::iters(u64::MAX).with_time(Duration::from_millis(30)));
+        let report = runner.run(&SlowTarget);
+        assert!(report.failure.is_none());
+        assert!(report.iterations < 1000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Structure decoder: turns a flat byte string into structured choices.
+//!
+//! Targets that need structured inputs (a JSON value, an op sequence, a
+//! split schedule) do not generate them directly from an RNG — they decode
+//! them from the iteration's byte string through a [`Tape`]. That keeps
+//! every target byte-oriented, so the same mutators and the same shrinker
+//! work on every target: flipping a byte in the tape perturbs a decision,
+//! truncating the tape simplifies the structure (an exhausted tape reads
+//! as zeros, which every decoder maps to its simplest choice).
+
+/// A read cursor over an iteration's input bytes.
+///
+/// All reads are total: past the end of the input every primitive returns
+/// zero. Decoders should therefore arrange choice 0 to be their simplest
+/// alternative ("stop", "empty", "null") so shrinking by truncation
+/// converges toward minimal structures.
+pub struct Tape<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tape<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// True once every input byte has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Bytes consumed so far (at most the input length).
+    pub fn consumed(&self) -> usize {
+        self.pos.min(self.data.len())
+    }
+
+    #[inline]
+    pub fn u8(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    #[inline]
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes([self.u8(), self.u8()])
+    }
+
+    #[inline]
+    pub fn u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.iter_mut().for_each(|x| *x = self.u8());
+        u32::from_le_bytes(b)
+    }
+
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.iter_mut().for_each(|x| *x = self.u8());
+        u64::from_le_bytes(b)
+    }
+
+    /// A choice in `[0, n)`; `n == 0` returns 0. Uses one byte for small
+    /// `n` so single-byte mutations flip individual decisions.
+    #[inline]
+    pub fn choice(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        if n <= 256 {
+            self.u8() as usize % n
+        } else {
+            self.u32() as usize % n
+        }
+    }
+
+    /// Bernoulli draw with probability `num/256`.
+    #[inline]
+    pub fn chance(&mut self, num: u8) -> bool {
+        self.u8() < num
+    }
+
+    /// f64 in `[0, 1)` from 8 tape bytes.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// All remaining bytes, consuming the tape. Used by targets whose
+    /// input *is* raw data (e.g. "parse this text") so corpus entries can
+    /// be crafted by hand without length-prefix bookkeeping.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.data[self.consumed()..];
+        self.pos = self.data.len();
+        out
+    }
+
+    /// Length-prefixed byte run, capped at `max_len` and at the remaining
+    /// tape (so truncation shortens payloads instead of zero-padding them).
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let want = self.choice(max_len + 1);
+        // The cursor may already sit past the end (reads are total and
+        // keep advancing); clamp before slicing.
+        let start = self.consumed();
+        let take = want.min(self.data.len() - start);
+        let out = self.data[start..start + take].to_vec();
+        self.pos = start + take;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_tape_reads_zero() {
+        let mut t = Tape::new(&[]);
+        assert_eq!(t.u8(), 0);
+        assert_eq!(t.u64(), 0);
+        assert_eq!(t.choice(10), 0);
+    }
+
+    #[test]
+    fn chance_zero_byte() {
+        // An exhausted tape yields byte 0, so chance(0) is false and
+        // chance(1..) is true; decoders that want "stop on exhaustion"
+        // should use choice() with 0 = stop instead.
+        let mut t = Tape::new(&[]);
+        assert!(t.chance(1));
+        let mut t = Tape::new(&[]);
+        assert!(!t.chance(0));
+    }
+
+    #[test]
+    fn choice_in_range_and_deterministic() {
+        let data: Vec<u8> = (0..64).collect();
+        let mut a = Tape::new(&data);
+        let mut b = Tape::new(&data);
+        for n in [1usize, 2, 5, 256, 1000] {
+            let x = a.choice(n);
+            assert!(x < n.max(1));
+            assert_eq!(x, b.choice(n));
+        }
+    }
+
+    #[test]
+    fn bytes_capped_by_remaining() {
+        let data = [200u8, 1, 2, 3];
+        let mut t = Tape::new(&data);
+        let run = t.bytes(255);
+        assert!(run.len() <= 3);
+        assert!(t.exhausted() || t.consumed() <= data.len());
+    }
+}

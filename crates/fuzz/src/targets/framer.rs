@@ -1,0 +1,235 @@
+//! Adversarial byte-split / coalescing schedules against the sans-IO
+//! connection state machines (`LineFramer`, `WriteBuf`).
+//!
+//! The framer oracle is an independent reimplementation of the framing
+//! spec over the *whole* stream; the target then feeds the same stream
+//! through two tape-decoded chunking schedules and asserts:
+//!
+//! * the error verdict (poisoned or not) is chunking-independent;
+//! * on clean streams, both schedules deliver exactly the oracle frames;
+//! * on poisoned streams, delivered frames are a prefix of the oracle's
+//!   pre-error frames (the erroring push drops its own frames by
+//!   contract — the connection is closing).
+//!
+//! The `WriteBuf` mode drives `flush_to` against a sink with a
+//! tape-decoded backpressure schedule (short writes, `WouldBlock`,
+//! `Interrupted`) and asserts the flushed bytes are exactly the pushed
+//! bytes in order.
+
+use std::io::{self, Write};
+
+use rwserve::reactor::conn::{Frame, LineFramer, WriteBuf};
+
+use crate::rng::FuzzRng;
+use crate::runner::FuzzTarget;
+use crate::tape::Tape;
+
+pub struct FramerTarget;
+
+/// The framer shape the checker drives. Generic so the planted-bug
+/// self-test (src/planted.rs) can run the *same* oracle against a shim
+/// reimplementing the pre-fix, chunking-dependent `push` semantics.
+pub(crate) trait FramerImpl {
+    fn new(max_line: usize) -> Self;
+    fn push(&mut self, data: &[u8]) -> Result<Vec<Frame>, ()>;
+}
+
+struct RealFramer(LineFramer);
+
+impl FramerImpl for RealFramer {
+    fn new(max_line: usize) -> Self {
+        Self(LineFramer::new(max_line))
+    }
+    fn push(&mut self, data: &[u8]) -> Result<Vec<Frame>, ()> {
+        self.0.push(data).map_err(|_| ())
+    }
+}
+
+/// Reference scan: what a spec-faithful framer produces for `stream`
+/// under cap `max_line`, independent of chunking.
+fn oracle(stream: &[u8], max_line: usize) -> (Vec<Frame>, bool) {
+    let mut frames = Vec::new();
+    let mut rest = stream;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..pos];
+        if line.len() > max_line {
+            return (frames, true);
+        }
+        let text = String::from_utf8_lossy(line);
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            if let Some(path) = trimmed.strip_prefix("GET ") {
+                let path = path.split_whitespace().next().unwrap_or("").to_string();
+                frames.push(Frame::HttpGet(path));
+            } else {
+                frames.push(Frame::Line(trimmed.to_string()));
+            }
+        }
+        rest = &rest[pos + 1..];
+    }
+    (frames, rest.len() > max_line)
+}
+
+/// Feeds `stream` through a fresh framer in tape-decoded chunks.
+/// Returns the delivered frames and whether the framer poisoned.
+fn drive<F: FramerImpl>(stream: &[u8], max_line: usize, t: &mut Tape) -> (Vec<Frame>, bool) {
+    let mut f = F::new(max_line);
+    let mut delivered = Vec::new();
+    let mut at = 0;
+    while at < stream.len() {
+        let remaining = stream.len() - at;
+        let step = t.choice(remaining.min(2 * max_line + 4)) + 1;
+        match f.push(&stream[at..at + step]) {
+            Ok(frames) => delivered.extend(frames),
+            Err(_) => return (delivered, true),
+        }
+        at += step;
+    }
+    (delivered, false)
+}
+
+pub(crate) fn check_framer<F: FramerImpl>(t: &mut Tape) -> Result<(), String> {
+    let max_line = 4 + t.choice(61);
+    let mut stream = Vec::new();
+    let segments = t.choice(10) + 1;
+    for _ in 0..segments {
+        match t.choice(5) {
+            0 => {
+                // A "line": payload possibly past the cap, then newline.
+                let len = t.choice(2 * max_line + 2);
+                let fill = b'a' + (t.u8() % 26);
+                stream.extend(std::iter::repeat_n(fill, len));
+                stream.push(b'\n');
+            }
+            1 => stream.extend_from_slice(&t.bytes(2 * max_line)),
+            2 => stream.extend_from_slice(b"GET /metrics HTTP/1.1\r\n"),
+            3 => stream.extend_from_slice(b"  \r\n"),
+            _ => {
+                // Tape bytes with newlines sprinkled in.
+                let mut raw = t.bytes(2 * max_line);
+                if !raw.is_empty() {
+                    let at = t.choice(raw.len());
+                    raw[at] = b'\n';
+                }
+                stream.extend_from_slice(&raw);
+            }
+        }
+    }
+
+    let (expect_frames, expect_err) = oracle(&stream, max_line);
+    let (frames_a, err_a) = drive::<F>(&stream, max_line, t);
+    let (frames_b, err_b) = drive::<F>(&stream, max_line, t);
+    for (label, frames, erred) in [("A", &frames_a, err_a), ("B", &frames_b, err_b)] {
+        if erred != expect_err {
+            return Err(format!(
+                "schedule {label}: verdict {erred} != oracle {expect_err} \
+                 (max_line={max_line}, stream={} bytes)",
+                stream.len()
+            ));
+        }
+        if !expect_err && *frames != expect_frames {
+            return Err(format!(
+                "schedule {label}: frames diverge from oracle (max_line={max_line}): \
+                 {frames:?} != {expect_frames:?}"
+            ));
+        }
+        if expect_err
+            && frames.as_slice() != &expect_frames[..frames.len().min(expect_frames.len())]
+        {
+            return Err(format!(
+                "schedule {label}: delivered frames not a prefix of oracle frames \
+                 (max_line={max_line}): {frames:?} vs {expect_frames:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Sink whose acceptance per `write` call follows a tape-decoded budget
+/// schedule; budget 0 reports `WouldBlock`, and occasional `Interrupted`
+/// results exercise the retry path.
+struct ScheduledSink {
+    out: Vec<u8>,
+    budgets: Vec<usize>,
+    next: usize,
+    interrupts: u8,
+}
+
+impl Write for ScheduledSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.interrupts > 0 {
+            self.interrupts -= 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+        }
+        let budget = self.budgets.get(self.next).copied().unwrap_or(usize::MAX);
+        self.next += 1;
+        if budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+        }
+        let n = buf.len().min(budget);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn check_writebuf(t: &mut Tape) -> Result<(), String> {
+    let mut wb = WriteBuf::new();
+    let mut expected = Vec::new();
+    let pushes = t.choice(6) + 1;
+    for _ in 0..pushes {
+        let chunk = t.bytes(48);
+        expected.extend_from_slice(&chunk);
+        wb.push(&chunk);
+    }
+    if wb.pending_bytes() != expected.len() {
+        return Err(format!("pending {} != pushed {}", wb.pending_bytes(), expected.len()));
+    }
+    let budgets: Vec<usize> = (0..t.choice(12) + 1).map(|_| t.choice(9)).collect();
+    let mut sink = ScheduledSink { out: Vec::new(), budgets, next: 0, interrupts: t.u8() % 3 };
+    // Drive until drained; once the schedule is exhausted the sink
+    // accepts everything, so this terminates.
+    for _round in 0..expected.len() + 16 {
+        match wb.flush_to(&mut sink) {
+            Ok(true) => break,
+            Ok(false) => continue, // backpressure; "epoll" fires again
+            Err(e) => return Err(format!("flush_to error: {e}")),
+        }
+    }
+    if !wb.is_empty() || wb.pending_bytes() != 0 {
+        return Err(format!("buffer not drained: {} bytes left", wb.pending_bytes()));
+    }
+    if sink.out != expected {
+        return Err(format!(
+            "flushed bytes diverge: {} written vs {} pushed",
+            sink.out.len(),
+            expected.len()
+        ));
+    }
+    Ok(())
+}
+
+impl FuzzTarget for FramerTarget {
+    fn name(&self) -> &'static str {
+        "framer"
+    }
+
+    fn seed_corpus(&self) -> Vec<Vec<u8>> {
+        vec![include_bytes!("../../tests/corpus/framer/overlong-terminated-line.bin").to_vec()]
+    }
+
+    fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+        rng.bytes(192)
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let mut t = Tape::new(input);
+        if t.u8().is_multiple_of(2) {
+            check_framer::<RealFramer>(&mut t)
+        } else {
+            check_writebuf(&mut t)
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Differential roundtrip fuzzing of `rwserve::json`.
+//!
+//! Two modes share the target, selected by the first tape byte:
+//!
+//! * **Structured** (mode 0): decode an arbitrary [`Json`] value from the
+//!   tape, serialize it, reparse, and assert semantic equality — a full
+//!   encoder/decoder differential.
+//! * **Raw text** (mode 1): the rest of the tape is fed to `Json::parse`
+//!   verbatim (lossy UTF-8). Parsing must never panic; when it succeeds,
+//!   serialize→reparse must reproduce the same value (idempotence).
+
+use rwserve::json::Json;
+
+use crate::rng::FuzzRng;
+use crate::runner::FuzzTarget;
+use crate::tape::Tape;
+
+pub struct JsonTarget;
+
+/// Strings that historically stress escapers: quotes, backslashes,
+/// control bytes, astral-plane codepoints (surrogate pairs on the wire),
+/// and the replacement character lossy decoding produces.
+const SPICY_STRINGS: &[&str] =
+    &["", "a\"b", "back\\slash", "\u{1F600}", "\u{FFFD}", "line\nbreak\ttab", "\u{7f}\u{1}", "\r"];
+
+fn gen_value(t: &mut Tape, depth: usize) -> Json {
+    let kinds = if depth >= 4 { 4 } else { 6 };
+    match t.choice(kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(t.chance(128)),
+        2 => Json::Num(gen_num(t)),
+        3 => Json::Str(gen_string(t)),
+        4 => {
+            let len = t.choice(5);
+            Json::Arr((0..len).map(|_| gen_value(t, depth + 1)).collect())
+        }
+        _ => {
+            let len = t.choice(5);
+            Json::Obj((0..len).map(|_| (gen_string(t), gen_value(t, depth + 1))).collect())
+        }
+    }
+}
+
+fn gen_num(t: &mut Tape) -> f64 {
+    match t.choice(4) {
+        // Small signed integers around zero.
+        0 => f64::from(t.u16() as i16),
+        // Large integers up to the 2^53 exactness boundary.
+        1 => (t.u64() % ((1u64 << 53) + 1)) as f64,
+        // Fractions in [0, 1).
+        2 => t.f64_unit(),
+        // Arbitrary bit patterns; non-finite values cannot appear in a
+        // parsed tree (the parser rejects overflow), so map them to 0.
+        _ => {
+            let x = f64::from_bits(t.u64());
+            if x.is_finite() {
+                x
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn gen_string(t: &mut Tape) -> String {
+    if t.chance(96) {
+        SPICY_STRINGS[t.choice(SPICY_STRINGS.len())].to_string()
+    } else {
+        String::from_utf8_lossy(&t.bytes(12)).into_owned()
+    }
+}
+
+impl FuzzTarget for JsonTarget {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn seed_corpus(&self) -> Vec<Vec<u8>> {
+        vec![
+            include_bytes!("../../tests/corpus/json/deep-nesting.bin").to_vec(),
+            include_bytes!("../../tests/corpus/json/surrogate-pair.bin").to_vec(),
+            include_bytes!("../../tests/corpus/json/number-overflow.bin").to_vec(),
+        ]
+    }
+
+    fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+        rng.bytes(256)
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let mut t = Tape::new(input);
+        if t.u8().is_multiple_of(2) {
+            let value = gen_value(&mut t, 0);
+            let wire = value.to_string();
+            let back = Json::parse(&wire)
+                .map_err(|e| format!("serializer emitted unparseable JSON {wire:?}: {e}"))?;
+            if back != value {
+                return Err(format!("roundtrip drift: {value:?} -> {wire:?} -> {back:?}"));
+            }
+            Ok(())
+        } else {
+            let text = String::from_utf8_lossy(t.rest());
+            // Any verdict is acceptable; panicking is not (the runner
+            // catches panics and reports them as failures).
+            let Ok(value) = Json::parse(&text) else { return Ok(()) };
+            let wire = value.to_string();
+            let back = Json::parse(&wire)
+                .map_err(|e| format!("reserialized accepted input unparseable: {wire:?}: {e}"))?;
+            if back != value {
+                return Err(format!(
+                    "parse not idempotent: {text:?} -> {value:?} -> {wire:?} -> {back:?}"
+                ));
+            }
+            Ok(())
+        }
+    }
+}

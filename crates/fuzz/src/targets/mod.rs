@@ -1,0 +1,25 @@
+//! The wired fuzz targets, one per attack surface.
+
+pub mod framer;
+pub mod json;
+pub mod store;
+pub mod transport;
+pub mod walk;
+
+use crate::runner::FuzzTarget;
+
+/// Every registered target, in the order `fuzz_soak --all` runs them.
+pub fn all() -> Vec<Box<dyn FuzzTarget>> {
+    vec![
+        Box::new(json::JsonTarget),
+        Box::new(framer::FramerTarget),
+        Box::new(store::StoreTarget),
+        Box::new(transport::TransportTarget),
+        Box::new(walk::WalkTarget),
+    ]
+}
+
+/// Look up one target by its stable name.
+pub fn by_name(name: &str) -> Option<Box<dyn FuzzTarget>> {
+    all().into_iter().find(|t| t.name() == name)
+}

@@ -1,0 +1,205 @@
+//! Differential conformance between the two serve transports.
+//!
+//! The same tape-decoded op sequence goes to a blocking (`Server`) and a
+//! reactor (`ReactorServer`) instance built over identical deterministic
+//! model state, each over real loopback TCP, with tape-chosen write
+//! chunking. The ordered response byte streams must be identical: both
+//! transports route scoring through the same batched `score_pairs` (the
+//! GEMM accumulates per output row independently of batch composition),
+//! the reactor's reorder buffer restores request order, and malformed
+//! lines produce the same structured reject line inline.
+//!
+//! `stats`/`metrics` ops are excluded — their payloads carry wall-clock
+//! fields (uptime, throughput) that legitimately differ between
+//! processes, let alone transports.
+//!
+//! Platform-gated exactly like the reactor itself; elsewhere the target
+//! vacuously passes so `--all` soaks stay green.
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"), not(miri)))]
+mod imp {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, OnceLock};
+
+    use embed::EmbeddingMatrix;
+    use nn::{Mlp, OutputHead};
+    use par::ParConfig;
+    use rwserve::{BatchPolicy, EmbeddingStore, ReactorConfig, ReactorServer, Server, Service};
+
+    use crate::tape::Tape;
+
+    pub const NODES: usize = 24;
+
+    fn make_service() -> Arc<Service> {
+        let d = 4;
+        let data: Vec<f32> = (0..NODES * d).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect();
+        let emb = EmbeddingMatrix::from_vec(NODES, d, data);
+        let store =
+            Arc::new(EmbeddingStore::new(emb, Mlp::new(&[2 * d, 8, 1], OutputHead::Binary, 42)));
+        Arc::new(Service::new(store, ParConfig::with_threads(2), BatchPolicy::default()))
+    }
+
+    /// One server pair for the whole process. The ops under test are
+    /// read-only (ingest is rejected before touching state), so reuse
+    /// across iterations cannot leak state between inputs.
+    struct Servers {
+        blocking: Server,
+        reactor: ReactorServer,
+    }
+
+    fn servers() -> &'static Servers {
+        static SERVERS: OnceLock<Servers> = OnceLock::new();
+        SERVERS.get_or_init(|| Servers {
+            blocking: Server::start(make_service(), "127.0.0.1:0", 2).expect("blocking server"),
+            reactor: ReactorServer::start(make_service(), "127.0.0.1:0", ReactorConfig::default())
+                .expect("reactor server"),
+        })
+    }
+
+    /// Decode one request line. Every produced line is non-empty after
+    /// trimming and newline-free, so both framers count it identically.
+    fn gen_line(t: &mut Tape) -> String {
+        match t.choice(8) {
+            0 => {
+                let (u, v) = (t.choice(NODES), t.choice(NODES));
+                format!("{{\"op\":\"link_score\",\"u\":{u},\"v\":{v}}}")
+            }
+            1 => format!("{{\"op\":\"embedding\",\"u\":{}}}", t.choice(NODES)),
+            2 => {
+                let (u, k) = (t.choice(NODES), t.choice(6));
+                format!("{{\"op\":\"topk\",\"u\":{u},\"k\":{k}}}") // k=0 is an error path
+            }
+            3 => {
+                // Unknown node: deterministic error on both transports.
+                format!("{{\"op\":\"embedding\",\"u\":{}}}", NODES + t.choice(100))
+            }
+            4 => {
+                // Ingest without a refresher: deterministic rejection.
+                "{\"op\":\"ingest\",\"edges\":[[1,2,0.5]]}".to_string()
+            }
+            5 => ["{not json", "[]", "{\"op\":\"nope\"}", "{\"op\":\"link_score\"}", "42"]
+                [t.choice(5)]
+            .to_string(),
+            _ => {
+                // Raw fuzz line: sanitize so framing is unambiguous.
+                let mut text: String = String::from_utf8_lossy(&t.bytes(40))
+                    .chars()
+                    .map(|c| if c == '\n' || c == '\r' { 'x' } else { c })
+                    .collect();
+                if text.trim().is_empty() {
+                    text = "?".to_string();
+                }
+                if text.trim().starts_with("GET ") {
+                    // An HTTP scrape switches the connection to a metrics
+                    // body full of wall-clock values and then closes it —
+                    // out of scope for byte-identity.
+                    text.insert(0, 'x');
+                }
+                text
+            }
+        }
+    }
+
+    /// Sends `wire` in tape-chunked writes, then reads `n` response lines.
+    fn exchange(
+        addr: std::net::SocketAddr,
+        wire: &[u8],
+        cuts: &[usize],
+        n: usize,
+    ) -> Result<Vec<String>, String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| format!("timeout: {e}"))?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        let mut at = 0;
+        for &cut in cuts {
+            let end = cut.min(wire.len()).max(at);
+            stream.write_all(&wire[at..end]).map_err(|e| format!("write: {e}"))?;
+            at = end;
+        }
+        stream.write_all(&wire[at..]).map_err(|e| format!("write tail: {e}"))?;
+        let mut responses = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(|e| format!("read {i}: {e}"))?;
+            if line.is_empty() {
+                return Err(format!("connection closed after {i}/{n} responses"));
+            }
+            responses.push(line);
+        }
+        Ok(responses)
+    }
+
+    pub fn run(input: &[u8]) -> Result<(), String> {
+        let mut t = Tape::new(input);
+        let ops = t.choice(16) + 1;
+        let mut wire = String::new();
+        for _ in 0..ops {
+            wire.push_str(&gen_line(&mut t));
+            wire.push('\n');
+        }
+        let bytes = wire.as_bytes();
+        // Two independent chunking schedules; conformance must not
+        // depend on how either transport's socket saw the bytes.
+        let schedule = |t: &mut Tape| -> Vec<usize> {
+            let mut cuts: Vec<usize> =
+                (0..t.choice(6)).map(|_| t.u32() as usize % (bytes.len() + 1)).collect();
+            cuts.sort_unstable();
+            cuts
+        };
+        let cuts_a = schedule(&mut t);
+        let cuts_b = schedule(&mut t);
+
+        let servers = servers();
+        let from_blocking = exchange(servers.blocking.local_addr(), bytes, &cuts_a, ops)?;
+        let from_reactor = exchange(servers.reactor.local_addr(), bytes, &cuts_b, ops)?;
+        for (i, (b, r)) in from_blocking.iter().zip(&from_reactor).enumerate() {
+            if b != r {
+                let req = wire.lines().nth(i).unwrap_or("?");
+                return Err(format!(
+                    "transports diverge at response {i} (request {req:?}):\n  blocking: {b:?}\n  reactor:  {r:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+use crate::rng::FuzzRng;
+use crate::runner::FuzzTarget;
+
+pub struct TransportTarget;
+
+impl FuzzTarget for TransportTarget {
+    fn name(&self) -> &'static str {
+        "transport"
+    }
+
+    fn seed_corpus(&self) -> Vec<Vec<u8>> {
+        vec![include_bytes!("../../tests/corpus/transport/mixed-ops.bin").to_vec()]
+    }
+
+    fn generate(&self, rng: &mut FuzzRng) -> Vec<u8> {
+        rng.bytes(160)
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    ))]
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        imp::run(input)
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    )))]
+    fn run(&self, _input: &[u8]) -> Result<(), String> {
+        Ok(()) // the reactor transport does not exist on this platform
+    }
+}

@@ -1,0 +1,114 @@
+//! The checked-in minimized regression corpus must stay green: every
+//! entry under tests/corpus/<target>/ is a tape that once demonstrated
+//! (or guards against) a bug, and each target replays its entries as
+//! iterations 0..n of every campaign.
+
+use std::path::Path;
+
+use rwalk_fuzz::runner::run_caught;
+use rwalk_fuzz::{corpus, targets, Budget, Runner};
+
+/// Every compiled-in seed-corpus entry passes its target.
+#[test]
+fn seed_corpus_entries_pass_their_targets() {
+    let mut total = 0;
+    for target in targets::all() {
+        for (i, entry) in target.seed_corpus().iter().enumerate() {
+            total += 1;
+            if let Err(message) = run_caught(target.as_ref(), entry) {
+                panic!("{} corpus entry {i} regressed: {message}", target.name());
+            }
+        }
+    }
+    assert!(total >= 8, "expected the full checked-in corpus, saw {total} entries");
+}
+
+/// The on-disk corpus directory and the compiled-in seed corpus agree:
+/// every file under tests/corpus/<target>/ is byte-identical to some
+/// compiled-in entry, so the two cannot silently drift apart.
+#[test]
+fn corpus_directory_matches_compiled_in_entries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files_seen = 0;
+    for target in targets::all() {
+        let dir = root.join(target.name());
+        if !dir.exists() {
+            assert!(
+                target.seed_corpus().is_empty(),
+                "{} has compiled-in entries but no corpus directory",
+                target.name()
+            );
+            continue;
+        }
+        let compiled = target.seed_corpus();
+        for (name, bytes) in corpus::load_dir(&dir).expect("read corpus dir") {
+            files_seen += 1;
+            assert!(
+                compiled.iter().any(|entry| entry == &bytes),
+                "tests/corpus/{}/{name} is not compiled into the target's seed corpus",
+                target.name()
+            );
+        }
+        assert_eq!(
+            compiled.len(),
+            corpus::load_dir(&dir).expect("read corpus dir").len(),
+            "{}: compiled-in corpus size differs from tests/corpus/{}/",
+            target.name(),
+            target.name()
+        );
+    }
+    assert!(files_seen >= 8, "corpus directory unexpectedly sparse: {files_seen} files");
+}
+
+/// Campaigns replay the seed corpus first: iteration i < corpus.len()
+/// must produce exactly corpus[i].
+#[test]
+fn campaign_iterations_replay_the_corpus_verbatim() {
+    for target in targets::all() {
+        let corpus = target.seed_corpus();
+        let runner = Runner::new(1234, Budget::iters(1));
+        for (i, entry) in corpus.iter().enumerate() {
+            assert_eq!(
+                &runner.input_for(target.as_ref(), i as u64),
+                entry,
+                "{} iteration {i} does not replay corpus entry {i}",
+                target.name()
+            );
+        }
+    }
+}
+
+/// A short deterministic campaign per target stays green — this is the
+/// same check CI's fuzz smoke runs via the soak binary, kept here too so
+/// plain `cargo test` exercises every target end to end.
+#[test]
+fn short_campaigns_are_clean() {
+    // Small budgets: this runs in seconds alongside the planted-bug
+    // self-tests; the soak binary owns the big budgets.
+    let budgets = [("json", 2_000u64), ("framer", 2_000), ("store", 300), ("walk", 100)];
+    for (name, iters) in budgets {
+        let target = targets::by_name(name).expect(name);
+        let report = Runner::new(0xC1, Budget::iters(iters)).run(target.as_ref());
+        assert!(
+            report.failure.is_none(),
+            "{name} failed at iteration {}: {}",
+            report.failure.as_ref().unwrap().iteration,
+            report.failure.as_ref().unwrap().message
+        );
+    }
+}
+
+/// The transport conformance target, separately (real TCP round-trips,
+/// so a lean budget) and only on platforms where the reactor exists.
+#[test]
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"), not(miri)))]
+fn short_transport_conformance_campaign_is_clean() {
+    let target = targets::by_name("transport").expect("transport");
+    let report = Runner::new(0xC1, Budget::iters(40)).run(target.as_ref());
+    assert!(
+        report.failure.is_none(),
+        "transport diverged at iteration {}: {}",
+        report.failure.as_ref().unwrap().iteration,
+        report.failure.as_ref().unwrap().message
+    );
+}

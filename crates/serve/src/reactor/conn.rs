@@ -73,9 +73,11 @@ impl LineFramer {
     /// # Errors
     ///
     /// [`FrameError::LineTooLong`] once the unterminated tail exceeds the
-    /// cap. Lines completed by this same push are still returned by the
-    /// *previous* calls; the erroring call returns only the error (the
-    /// connection is closing anyway).
+    /// cap, or when a line completed by this push is itself longer than
+    /// the cap (so the verdict never depends on how the stream was
+    /// chunked). Lines completed by this same push are still returned by
+    /// the *previous* calls; the erroring call returns only the error
+    /// (the connection is closing anyway).
     pub fn push(&mut self, data: &[u8]) -> Result<Vec<Frame>, FrameError> {
         if self.poisoned {
             return Err(FrameError::LineTooLong { limit: self.max_line });
@@ -84,6 +86,15 @@ impl LineFramer {
         let mut frames = Vec::new();
         let mut start = 0;
         while let Some(rel) = self.buf[start..].iter().position(|&b| b == b'\n') {
+            if rel > self.max_line {
+                // A completed line longer than the cap. Had the same bytes
+                // arrived split before the newline, the tail check below
+                // would already have poisoned the connection — accepting
+                // the line here would make framing chunking-dependent.
+                self.poisoned = true;
+                self.buf = Vec::new();
+                return Err(FrameError::LineTooLong { limit: self.max_line });
+            }
             let line = &self.buf[start..start + rel];
             let text = String::from_utf8_lossy(line);
             let trimmed = text.trim();
@@ -218,6 +229,38 @@ mod tests {
         assert_eq!(f.pending_bytes(), 0, "oversized tail is released");
         // Poisoned: even a clean newline no longer produces frames.
         assert!(f.push(b"ok\n").is_err());
+    }
+
+    /// Found by the fuzz harness (`rwalk-fuzz`, framer target): a
+    /// terminated line longer than the cap was accepted when delivered in
+    /// one push, but poisoned the framer when the same bytes arrived
+    /// split before the newline — the verdict depended on chunking.
+    /// Minimized corpus entry: crates/fuzz/tests/corpus/framer/overlong-terminated-line.bin
+    #[test]
+    fn overlong_terminated_line_rejected_regardless_of_chunking() {
+        let line = b"123456789\n"; // 9 payload bytes, cap 8
+                                   // One push: must poison, not frame.
+        let mut f = LineFramer::new(8);
+        let err = f.push(line).unwrap_err();
+        assert_eq!(err, FrameError::LineTooLong { limit: 8 });
+        assert!(f.push(b"ok\n").is_err(), "framer stays poisoned");
+        // Every split point must agree with the one-shot verdict.
+        for split in 0..line.len() {
+            let mut f = LineFramer::new(8);
+            let first = f.push(&line[..split]);
+            let verdict = first.and_then(|_| f.push(&line[split..]));
+            assert!(verdict.is_err(), "split at byte {split} accepted an overlong line");
+        }
+        // A line of exactly the cap is fine from every split point, since
+        // an exactly-cap unterminated tail is also fine.
+        let ok_line = b"12345678\n";
+        for split in 0..ok_line.len() {
+            let mut f = LineFramer::new(8);
+            let mut got = Vec::new();
+            got.extend(f.push(&ok_line[..split]).unwrap());
+            got.extend(f.push(&ok_line[split..]).unwrap());
+            assert_eq!(got, vec![Frame::Line("12345678".into())], "split at byte {split}");
+        }
     }
 
     #[test]
